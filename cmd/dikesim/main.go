@@ -1,0 +1,122 @@
+// Command dikesim runs a single workload under one scheduling policy and
+// prints the run's metrics: per-benchmark thread-runtime dispersion,
+// fairness (Eqn 4), completion times, swap counts and — for the Dike
+// policies — prediction accuracy.
+//
+// Usage:
+//
+//	dikesim -wl 6 -policy dike                  # WL6 under Dike
+//	dikesim -wl 15 -policy dio -scale 1         # full-length WL15 under DIO
+//	dikesim -wl 7 -policy dike-af -seed 7       # adaptive, different seed
+//	dikesim -apps jacobi,srad -policy dike      # custom two-app workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dike/internal/harness"
+	"dike/internal/workload"
+)
+
+func main() {
+	var (
+		wlFlag     = flag.Int("wl", 1, "Table II workload number (1-16); ignored when -apps is set")
+		appsFlag   = flag.String("apps", "", "comma-separated application list for a custom workload")
+		policyFlag = flag.String("policy", "dike", "cfs | dio | dike | dike-af | dike-ap | rotate | oracle")
+		seedFlag   = flag.Uint64("seed", 42, "simulation seed")
+		scaleFlag  = flag.Float64("scale", 0.5, "workload scale")
+		kmeansFlag = flag.Bool("kmeans", true, "include the kmeans contention app in custom workloads")
+		traceFlag  = flag.String("trace", "", "write a CSV time-series trace (memory utilisation, alive threads, swaps, progress dispersion) to this file")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	var err error
+	if *appsFlag != "" {
+		w, err = customWorkload(*appsFlag, *kmeansFlag)
+	} else {
+		w, err = workload.Table2(*wlFlag)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	spec := harness.RunSpec{
+		Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
+	}
+	if *traceFlag != "" {
+		spec.TraceEvery = 250
+	}
+	out, err := harness.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	r := out.Result
+	fmt.Printf("workload   %s (%s)\npolicy     %s\n", r.Workload, r.Type, r.Policy)
+	fmt.Printf("fairness   %.4f (Eqn 4)\n", r.Fairness)
+	fmt.Printf("makespan   %.1fs   mean main-bench time %.1fs\n", r.Makespan/1000, r.AvgTime/1000)
+	fmt.Printf("swaps      %d (%d migrations)\n", r.Swaps, r.Migrations)
+	if out.History != nil {
+		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
+			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
+	}
+	if *traceFlag != "" && out.Trace != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := out.Trace.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace      %s\n", *traceFlag)
+	}
+	fmt.Println()
+	fmt.Printf("%-15s %-6s %10s %10s %8s\n", "benchmark", "class", "time", "mean", "cv")
+	for _, b := range r.Benches {
+		tag := ""
+		if b.Extra {
+			tag = " (extra)"
+		}
+		fmt.Printf("%-15s %-6s %9.1fs %9.1fs %8.4f%s\n",
+			b.Name, classOf(b.Name), b.Time/1000, b.MeanThreadTime/1000, b.CV, tag)
+	}
+}
+
+// classOf returns the ground-truth class letter for a builtin app.
+func classOf(app string) string {
+	p, err := workload.LookupProfile(app)
+	if err != nil {
+		return "?"
+	}
+	return p.Class.String()
+}
+
+// customWorkload builds a workload from a comma-separated app list.
+func customWorkload(list string, kmeans bool) (*workload.Workload, error) {
+	w := &workload.Workload{Name: "custom"}
+	for _, app := range strings.Split(list, ",") {
+		p, err := workload.LookupProfile(strings.TrimSpace(app))
+		if err != nil {
+			return nil, err
+		}
+		w.Benchmarks = append(w.Benchmarks, workload.Benchmark{Profile: p, Threads: workload.ThreadsPerBenchmark})
+	}
+	if kmeans {
+		p, err := workload.LookupProfile("kmeans")
+		if err != nil {
+			return nil, err
+		}
+		w.Benchmarks = append(w.Benchmarks, workload.Benchmark{Profile: p, Threads: workload.ThreadsPerBenchmark, Extra: true})
+	}
+	return w, w.Validate()
+}

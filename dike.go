@@ -1,0 +1,345 @@
+// Package dike is a reproduction of "Providing Fairness in Heterogeneous
+// Multicores with a Predictive, Adaptive Scheduler" (Barati & Hoffmann,
+// IPPS 2016) as a self-contained Go library.
+//
+// Dike is a contention-aware scheduler: it divides time into quanta,
+// observes per-thread memory access rates through (simulated) hardware
+// performance counters, predicts the access-rate profit of swapping
+// thread pairs between higher- and lower-bandwidth cores with a
+// closed-loop model, and executes only the profitable swaps. An optional
+// optimizer adaptively retunes the two key scheduling parameters —
+// quantum length and swap size — to the current workload, favouring
+// either fairness (Dike-AF) or performance (Dike-AP).
+//
+// Because the paper's evaluation needs a heterogeneous multicore with
+// hardware counters, this package ships a deterministic simulation of
+// the paper's platform (2 sockets × 10 cores × 2 SMT lanes, one shared
+// memory controller) and phased models of its Rodinia benchmarks; see
+// DESIGN.md for the substitution rationale. Everything is reachable from
+// this facade:
+//
+//	w, _ := dike.TableWorkload(6)                  // WL6 from Table II
+//	res, _ := dike.Run(w, dike.Options{Scheduler: dike.SchedulerDike})
+//	fmt.Println(res.Fairness, res.Makespan, res.Swaps)
+//
+// The cmd/dikebench binary regenerates every table and figure of the
+// paper's evaluation; cmd/dikesim runs single workloads; cmd/dikesweep
+// explores the 32-point scheduler-configuration space.
+package dike
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dike/internal/core"
+	"dike/internal/harness"
+	"dike/internal/sim"
+	"dike/internal/workload"
+)
+
+// Scheduler selects the scheduling policy for a run.
+type Scheduler string
+
+// The available schedulers: the Linux-default baseline, the DIO
+// comparator, and the three Dike variants from the paper.
+const (
+	SchedulerCFS    Scheduler = harness.PolicyCFS
+	SchedulerDIO    Scheduler = harness.PolicyDIO
+	SchedulerDike   Scheduler = harness.PolicyDike
+	SchedulerDikeAF Scheduler = harness.PolicyDikeAF
+	SchedulerDikeAP Scheduler = harness.PolicyDikeAP
+)
+
+// Schedulers lists all selectable schedulers.
+func Schedulers() []Scheduler {
+	return []Scheduler{SchedulerCFS, SchedulerDIO, SchedulerDike, SchedulerDikeAF, SchedulerDikeAP}
+}
+
+// Options configures a run. The zero value runs Dike with the paper's
+// defaults (⟨swapSize 8, quantum 500 ms⟩, θf = 0.1) at half workload
+// scale.
+type Options struct {
+	// Scheduler defaults to SchedulerDike.
+	Scheduler Scheduler
+	// Seed makes the run reproducible; runs to be compared must share it.
+	// Defaults to 42.
+	Seed uint64
+	// Scale multiplies all benchmark work; 1.0 is the paper-scale
+	// multi-minute run, the default 0.5 halves it.
+	Scale float64
+	// QuantaLength overrides Dike's quantum (one of 100, 200, 500,
+	// 1000 ms). Zero keeps the default 500 ms.
+	QuantaLength time.Duration
+	// SwapSize overrides Dike's swap size (even, 2–16). Zero keeps 8.
+	SwapSize int
+	// FairnessThreshold overrides θf. Zero keeps 0.1.
+	FairnessThreshold float64
+}
+
+func (o Options) spec(w *Workload) (harness.RunSpec, error) {
+	pol := o.Scheduler
+	if pol == "" {
+		pol = SchedulerDike
+	}
+	spec := harness.RunSpec{
+		Workload: w.w,
+		Policy:   string(pol),
+		Seed:     o.Seed,
+		Scale:    o.Scale,
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 42
+	}
+	if o.QuantaLength != 0 || o.SwapSize != 0 || o.FairnessThreshold != 0 {
+		cfg := core.DefaultConfig()
+		if o.QuantaLength != 0 {
+			cfg.QuantaLength = sim.Time(o.QuantaLength.Milliseconds())
+		}
+		if o.SwapSize != 0 {
+			cfg.SwapSize = o.SwapSize
+		}
+		if o.FairnessThreshold != 0 {
+			cfg.FairnessThreshold = o.FairnessThreshold
+		}
+		if err := cfg.Validate(); err != nil {
+			return spec, err
+		}
+		spec.DikeConfig = &cfg
+	}
+	return spec, nil
+}
+
+// Workload is a set of applications to run concurrently.
+type Workload struct {
+	w *workload.Workload
+}
+
+// Apps returns the names of the built-in application models (the
+// paper's Rodinia suite plus STREAM and KMEANS).
+func Apps() []string { return workload.AppNames() }
+
+// TableWorkload returns workload WLn (1–16) from the paper's Table II:
+// four applications × 8 threads plus the KMEANS contention app.
+func TableWorkload(n int) (*Workload, error) {
+	w, err := workload.Table2(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{w: w}, nil
+}
+
+// NewWorkload starts an empty custom workload.
+func NewWorkload(name string) *Workload {
+	return &Workload{w: &workload.Workload{Name: name}}
+}
+
+// Add appends an application with the given thread count. App must be
+// one of Apps().
+func (w *Workload) Add(app string, threads int) error {
+	return w.add(app, threads, false, 0)
+}
+
+// AddExtra appends a contention-only application (excluded from the
+// fairness and performance aggregates, like the paper's KMEANS).
+func (w *Workload) AddExtra(app string, threads int) error {
+	return w.add(app, threads, true, 0)
+}
+
+// AddAt appends an application whose threads arrive startAt simulated
+// milliseconds into the run (scaled along with the workload) — the
+// dynamic scenario the paper motivates adaptation with.
+func (w *Workload) AddAt(app string, threads int, startAtMs float64) error {
+	if startAtMs < 0 {
+		return fmt.Errorf("dike: negative start time for %q", app)
+	}
+	return w.add(app, threads, false, startAtMs)
+}
+
+func (w *Workload) add(app string, threads int, extra bool, startAt float64) error {
+	p, err := workload.LookupProfile(app)
+	if err != nil {
+		return err
+	}
+	if threads < 1 {
+		return fmt.Errorf("dike: %q needs at least one thread", app)
+	}
+	w.w.Benchmarks = append(w.w.Benchmarks, workload.Benchmark{Profile: p, Threads: threads, Extra: extra, StartAt: startAt})
+	return nil
+}
+
+// Name returns the workload's name.
+func (w *Workload) Name() string { return w.w.Name }
+
+// Type returns the workload's class: "B", "UC" or "UM".
+func (w *Workload) Type() string { return w.w.Type().String() }
+
+// Threads returns the total thread count.
+func (w *Workload) Threads() int { return w.w.TotalThreads() }
+
+// BenchResult reports one application's outcome in a run.
+type BenchResult struct {
+	// App is the application name; Extra marks contention-only apps.
+	App   string
+	Extra bool
+	// Time is the application's completion time (slowest thread);
+	// MeanThreadTime the mean across its threads.
+	Time           time.Duration
+	MeanThreadTime time.Duration
+	// CV is the coefficient of variation of its threads' runtimes —
+	// Eqn 4's per-benchmark dispersion (0 = perfectly fair).
+	CV float64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload  string
+	Scheduler Scheduler
+	// Fairness is the paper's Eqn 4 metric in [0, 1]; 1 means every
+	// application's threads finished simultaneously.
+	Fairness float64
+	// Makespan is the workload completion time; speedups in the paper's
+	// Fig 6b are ratios of makespans.
+	Makespan time.Duration
+	// Swaps and Migrations count scheduling actions.
+	Swaps      int
+	Migrations int
+	// Benches holds per-application results.
+	Benches []BenchResult
+	// PredictionErr* summarise Dike's closed-loop prediction accuracy
+	// (zero for non-Dike schedulers): per-thread run-averaged signed
+	// relative errors.
+	PredictionErrMin float64
+	PredictionErrAvg float64
+	PredictionErrMax float64
+}
+
+// Run executes the workload under the chosen scheduler on the simulated
+// Table I machine and returns its metrics.
+func Run(w *Workload, opts Options) (*Result, error) {
+	if w == nil || w.w == nil {
+		return nil, errors.New("dike: nil workload")
+	}
+	spec, err := opts.spec(w)
+	if err != nil {
+		return nil, err
+	}
+	out, err := harness.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	r := out.Result
+	res := &Result{
+		Workload:         r.Workload,
+		Scheduler:        Scheduler(r.Policy),
+		Fairness:         r.Fairness,
+		Makespan:         time.Duration(r.Makespan) * time.Millisecond,
+		Swaps:            r.Swaps,
+		Migrations:       r.Migrations,
+		PredictionErrMin: out.PredMin,
+		PredictionErrAvg: out.PredAvg,
+		PredictionErrMax: out.PredMax,
+	}
+	for _, b := range r.Benches {
+		res.Benches = append(res.Benches, BenchResult{
+			App:            b.Name,
+			Extra:          b.Extra,
+			Time:           time.Duration(b.Time) * time.Millisecond,
+			MeanThreadTime: time.Duration(b.MeanThreadTime) * time.Millisecond,
+			CV:             b.CV,
+		})
+	}
+	return res, nil
+}
+
+// Speedup returns r's workload speedup relative to base (>1 = faster).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(base.Makespan) / float64(r.Makespan)
+}
+
+// FairnessImprovement returns r's relative fairness gain over base as a
+// fraction (0.38 = 38%).
+func (r *Result) FairnessImprovement(base *Result) float64 {
+	if base.Fairness <= 0 {
+		return 0
+	}
+	return r.Fairness/base.Fairness - 1
+}
+
+// Compare runs the workload under every given scheduler with identical
+// seeds and returns results in the same order. With no schedulers given
+// it compares all five.
+func Compare(w *Workload, opts Options, schedulers ...Scheduler) ([]*Result, error) {
+	if len(schedulers) == 0 {
+		schedulers = Schedulers()
+	}
+	out := make([]*Result, 0, len(schedulers))
+	for _, s := range schedulers {
+		o := opts
+		o.Scheduler = s
+		r, err := Run(w, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ConfigPoint is one scheduler configuration's outcome in a sweep.
+type ConfigPoint struct {
+	SwapSize     int
+	QuantaLength time.Duration
+	Fairness     float64
+	Makespan     time.Duration
+	Swaps        int
+}
+
+// SweepConfigs runs the workload under all 32 ⟨swapSize, quantaLength⟩
+// configurations of non-adaptive Dike (the space of the paper's Figs 2,
+// 4 and 5) and returns one point per configuration. opts.Scheduler is
+// ignored; opts.Scale defaults to 0.25 for sweeps.
+func SweepConfigs(w *Workload, opts Options) ([]ConfigPoint, error) {
+	if w == nil || w.w == nil {
+		return nil, errors.New("dike: nil workload")
+	}
+	hopts := harness.Options{Seed: opts.Seed, SweepScale: opts.Scale}
+	grid, err := harness.Sweep(w.w, hopts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ConfigPoint, len(grid))
+	for i, g := range grid {
+		out[i] = ConfigPoint{
+			SwapSize:     g.SwapSize,
+			QuantaLength: time.Duration(g.Quanta.Millis()) * time.Millisecond,
+			Fairness:     g.Fairness,
+			Makespan:     time.Duration(1/g.Perf) * time.Millisecond,
+			Swaps:        g.Swaps,
+		}
+	}
+	return out, nil
+}
+
+// Experiments lists the ids of the paper's reproducible tables and
+// figures (fig1…fig8, tab1…tab3 variants).
+func Experiments() []string { return harness.ExperimentIDs() }
+
+// RunExperiment regenerates one of the paper's tables/figures and writes
+// the rendered report to w. Quick shrinks run lengths for smoke tests.
+func RunExperiment(id string, out io.Writer, quick bool) error {
+	e, err := harness.Lookup(strings.TrimSpace(id))
+	if err != nil {
+		return err
+	}
+	rep, err := e.Run(harness.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	return rep.Render(out)
+}

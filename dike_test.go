@@ -1,0 +1,180 @@
+package dike
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableWorkload(t *testing.T) {
+	w, err := TableWorkload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "wl6" || w.Type() != "B" || w.Threads() != 40 {
+		t.Errorf("wl6 = %s/%s/%d", w.Name(), w.Type(), w.Threads())
+	}
+	if _, err := TableWorkload(0); err == nil {
+		t.Error("WL0 accepted")
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	w := NewWorkload("mine")
+	if err := w.Add("jacobi", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("srad", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddExtra("kmeans", 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Threads() != 10 {
+		t.Errorf("threads = %d", w.Threads())
+	}
+	if w.Type() != "B" {
+		t.Errorf("type = %s", w.Type())
+	}
+	if err := w.Add("nosuchapp", 4); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := w.Add("jacobi", 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestAppsCatalogue(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 10 {
+		t.Fatalf("apps = %v", apps)
+	}
+	found := false
+	for _, a := range apps {
+		if a == "stream_omp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stream_omp missing from catalogue")
+	}
+}
+
+func TestRunAndCompare(t *testing.T) {
+	w := NewWorkload("facade-test")
+	for _, app := range []string{"jacobi", "lavaMD"} {
+		if err := w.Add(app, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Run(w, Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != SchedulerDike {
+		t.Errorf("default scheduler = %s", res.Scheduler)
+	}
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Errorf("fairness = %v", res.Fairness)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+	if len(res.Benches) != 2 {
+		t.Errorf("benches = %d", len(res.Benches))
+	}
+	for _, b := range res.Benches {
+		if b.Time < b.MeanThreadTime {
+			t.Errorf("%s: time < mean", b.App)
+		}
+	}
+
+	// Same-seed comparison against the CFS baseline.
+	both, err := Compare(w, Options{Scale: 0.1}, SchedulerCFS, SchedulerDike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, dk := both[0], both[1]
+	if cfs.Swaps != 0 {
+		t.Error("CFS swapped")
+	}
+	if dk.FairnessImprovement(cfs) <= 0 {
+		t.Errorf("Dike fairness %v not above CFS %v", dk.Fairness, cfs.Fairness)
+	}
+	if dk.Speedup(cfs) <= 0 {
+		t.Error("speedup not computable")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	w := NewWorkload("bad")
+	_ = w.Add("jacobi", 2)
+	if _, err := Run(w, Options{SwapSize: 3}); err == nil {
+		t.Error("odd swap size accepted")
+	}
+	if _, err := Run(w, Options{QuantaLength: 123 * time.Millisecond}); err == nil {
+		t.Error("off-grid quantum accepted")
+	}
+	if _, err := Run(w, Options{Scheduler: "bogus", Scale: 0.05}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	w := NewWorkload("opt")
+	_ = w.Add("jacobi", 2)
+	_ = w.Add("hotspot", 2)
+	res, err := Run(w, Options{
+		Scale:             0.05,
+		QuantaLength:      200 * time.Millisecond,
+		SwapSize:          4,
+		FairnessThreshold: 0.2,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fairness <= 0 {
+		t.Error("run with custom options failed to produce metrics")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 9 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	var sb strings.Builder
+	if err := RunExperiment("tab2", &sb, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wl16") {
+		t.Error("tab2 report missing workloads")
+	}
+	if err := RunExperiment("nope", &sb, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAddAt(t *testing.T) {
+	w := NewWorkload("staggered")
+	if err := w.Add("jacobi", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddAt("srad", 2, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddAt("srad", 2, -5); err == nil {
+		t.Error("negative start accepted")
+	}
+	res, err := Run(w, Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) != 2 || res.Benches[1].Time <= 0 {
+		t.Errorf("staggered run results wrong: %+v", res.Benches)
+	}
+}

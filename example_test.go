@@ -1,0 +1,42 @@
+package dike_test
+
+import (
+	"fmt"
+
+	"dike"
+)
+
+// Example runs a tiny custom workload under Dike and prints whether the
+// scheduler acted. Full workloads take simulated minutes; the example
+// uses a very small scale so `go test` stays fast.
+func Example() {
+	w := dike.NewWorkload("example")
+	w.Add("jacobi", 4) // memory intensive
+	w.Add("lavaMD", 4) // compute intensive
+	res, err := dike.Run(w, dike.Options{Scheduler: dike.SchedulerDike, Scale: 0.05})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheduler:", res.Scheduler)
+	fmt.Println("acted:", res.Swaps > 0)
+	fmt.Println("fair:", res.Fairness > 0.9)
+	// Output:
+	// scheduler: dike
+	// acted: true
+	// fair: true
+}
+
+// ExampleCompare contrasts Dike with the CFS baseline on the same seed.
+func ExampleCompare() {
+	w, _ := dike.TableWorkload(1)
+	results, err := dike.Compare(w, dike.Options{Scale: 0.2}, dike.SchedulerCFS, dike.SchedulerDike)
+	if err != nil {
+		panic(err)
+	}
+	cfs, dk := results[0], results[1]
+	fmt.Println("dike fairer:", dk.Fairness > cfs.Fairness)
+	fmt.Println("dike faster:", dk.Speedup(cfs) > 1)
+	// Output:
+	// dike fairer: true
+	// dike faster: true
+}

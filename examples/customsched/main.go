@@ -1,0 +1,63 @@
+// Configuration exploration: sweep Dike's full ⟨swapSize, quantaLength⟩
+// space (the paper's 32 configurations, Figs 2/4) over a custom workload
+// and report the per-goal optima — the data an operator would use to pick
+// a static configuration, and the reason the paper adds the Optimizer.
+//
+//	go run ./examples/customsched
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dike"
+)
+
+func main() {
+	// A custom unbalanced-memory mix: three memory-bound apps against one
+	// compute app.
+	w := dike.NewWorkload("custom-um")
+	for _, app := range []string{"jacobi", "streamcluster", "needle"} {
+		if err := w.Add(app, 8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Add("srad", 8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (type %s): sweeping all 32 configurations...\n\n", w.Name(), w.Type())
+
+	points, err := dike.SweepConfigs(w, dike.Options{Scale: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var bestFair, bestPerf dike.ConfigPoint
+	bestPerf.Makespan = 1<<62 - 1
+	for _, p := range points {
+		if p.Fairness > bestFair.Fairness {
+			bestFair = p
+		}
+		if p.Makespan < bestPerf.Makespan {
+			bestPerf = p
+		}
+	}
+
+	fmt.Printf("%-22s %10s %12s %8s\n", "config", "fairness", "makespan", "swaps")
+	for _, p := range points {
+		marker := ""
+		if p == bestFair {
+			marker += "  <- best fairness"
+		}
+		if p == bestPerf {
+			marker += "  <- best performance"
+		}
+		fmt.Printf("<swap %2d, quanta %4v> %10.4f %12v %8d%s\n",
+			p.SwapSize, p.QuantaLength/time.Millisecond, p.Fairness, p.Makespan.Round(1e8), p.Swaps, marker)
+	}
+
+	fmt.Println("\nthe two optima differ — the paper's point exactly: a fixed")
+	fmt.Println("configuration must pick a side, while Dike-AF/Dike-AP walk the")
+	fmt.Println("space toward the operator's goal at runtime.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one of the paper's workloads under the Linux-default
+// baseline and under Dike, and compare fairness, completion time and
+// migration counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dike"
+)
+
+func main() {
+	// WL6 from Table II: jacobi + needle (memory intensive), heartwall +
+	// srad (compute intensive), 8 threads each, plus the KMEANS
+	// contention app — 40 threads on the 40 logical cores of the
+	// simulated two-socket machine.
+	w, err := dike.TableWorkload(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (type %s, %d threads)\n\n", w.Name(), w.Type(), w.Threads())
+
+	opts := dike.Options{Scale: 0.5} // ~half the paper-scale run length
+	results, err := dike.Compare(w, opts, dike.SchedulerCFS, dike.SchedulerDike)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfs, dk := results[0], results[1]
+
+	fmt.Printf("%-22s %10s %12s %8s\n", "scheduler", "fairness", "makespan", "swaps")
+	for _, r := range results {
+		fmt.Printf("%-22s %10.4f %12v %8d\n", r.Scheduler, r.Fairness, r.Makespan.Round(1e8), r.Swaps)
+	}
+
+	fmt.Printf("\nDike vs CFS: fairness %+.1f%%, speedup %+.1f%%\n",
+		dk.FairnessImprovement(cfs)*100, (dk.Speedup(cfs)-1)*100)
+
+	fmt.Println("\nper-application thread-runtime dispersion (lower CV = fairer):")
+	fmt.Printf("%-15s %12s %12s\n", "app", "CFS cv", "Dike cv")
+	for i, b := range cfs.Benches {
+		fmt.Printf("%-15s %12.4f %12.4f\n", b.App, b.CV, dk.Benches[i].CV)
+	}
+}

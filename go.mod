@@ -1,0 +1,3 @@
+module dike
+
+go 1.22

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"dike/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// The paper's default configuration is ⟨swapSize 8, quanta 500⟩.
+	if cfg.SwapSize != 8 || cfg.QuantaLength != 500 {
+		t.Errorf("default = ⟨%d,%d⟩, want ⟨8,500⟩", cfg.SwapSize, cfg.QuantaLength)
+	}
+	if cfg.FairnessThreshold != 0.1 {
+		t.Errorf("θf = %v, want 0.1", cfg.FairnessThreshold)
+	}
+	if cfg.MissRatioThreshold != 0.10 {
+		t.Errorf("miss threshold = %v, want 0.10", cfg.MissRatioThreshold)
+	}
+}
+
+func TestConfigSpace(t *testing.T) {
+	// 4 quanta levels x 8 swap sizes = the paper's 32 configurations.
+	if len(QuantaLevels) != 4 {
+		t.Errorf("quanta levels = %d", len(QuantaLevels))
+	}
+	if got := len(SwapSizeLevels()); got != 8 {
+		t.Errorf("swap sizes = %d", got)
+	}
+	if len(QuantaLevels)*len(SwapSizeLevels()) != NumConfigurations {
+		t.Error("configuration space size mismatch")
+	}
+	for _, s := range SwapSizeLevels() {
+		if s%2 != 0 || s < MinSwapSize || s > MaxSwapSize {
+			t.Errorf("bad swap size %d", s)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.QuantaLength = 300 },
+		func(c *Config) { c.SwapSize = 7 },
+		func(c *Config) { c.SwapSize = 0 },
+		func(c *Config) { c.SwapSize = 18 },
+		func(c *Config) { c.FairnessThreshold = 0 },
+		func(c *Config) { c.MissRatioThreshold = 1 },
+		func(c *Config) { c.CoreBWAlpha = 2 },
+		func(c *Config) { c.SwapOH = -1 },
+		func(c *Config) { c.AdaptEvery = 0 },
+		func(c *Config) { c.Goal = AdaptationGoal(9) },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestQuantaIndex(t *testing.T) {
+	for i, q := range QuantaLevels {
+		if quantaIndex(q) != i {
+			t.Errorf("quantaIndex(%d) = %d, want %d", q, quantaIndex(q), i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid quanta did not panic")
+		}
+	}()
+	quantaIndex(sim.Time(123))
+}
+
+func TestGoalString(t *testing.T) {
+	if AdaptNone.String() != "none" || AdaptFairness.String() != "fairness" || AdaptPerformance.String() != "performance" {
+		t.Error("goal strings wrong")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ComputeClass.String() != "C" || MemoryClass.String() != "M" {
+		t.Error("class strings wrong")
+	}
+}

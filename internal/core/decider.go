@@ -1,0 +1,99 @@
+package core
+
+import (
+	"dike/internal/machine"
+	"dike/internal/sim"
+)
+
+// Decider applies the paper's two acceptance rules to predicted swaps
+// (§III-D): a thread is never swapped in consecutive quanta (cool-down),
+// and pairs whose predicted total profit is not positive are ignored.
+type Decider struct {
+	// lastSwapped records the quantum index in which each thread was
+	// last migrated.
+	lastSwapped map[machine.ThreadID]int
+	// cooldown is how many quanta a swapped thread rests. At the default
+	// 500 ms quantum this is 1 — the paper's "does not swap a thread in
+	// consecutive quanta" — and it scales up at shorter quanta so the
+	// rest period stays roughly constant in time (a freshly migrated
+	// thread's counters are polluted by the migration for a fixed real
+	// time, not a fixed number of quanta).
+	cooldown int
+	// DisableCooldown and DisableProfitGate switch the two rules off for
+	// ablation studies; both false in normal operation.
+	DisableCooldown   bool
+	DisableProfitGate bool
+}
+
+// cooldownWindow is the target rest time after a migration, ms.
+const cooldownWindow = 400
+
+// NewDecider returns an empty decider.
+func NewDecider() *Decider {
+	return &Decider{lastSwapped: make(map[machine.ThreadID]int), cooldown: 1}
+}
+
+// SetQuanta informs the decider of the current quantum length so the
+// cooldown can stay constant in time across adaptive retuning.
+func (d *Decider) SetQuanta(q sim.Time) {
+	cd := 1
+	if q > 0 && q < cooldownWindow {
+		cd = int((cooldownWindow + q - 1) / q)
+	}
+	d.cooldown = cd
+}
+
+// Filter returns the predictions that survive both rules at quantum
+// index q. It does not record anything; call Committed for the swaps the
+// migrator actually performs.
+func (d *Decider) Filter(preds []Prediction, q int) []Prediction {
+	var out []Prediction
+	for _, p := range preds {
+		if !d.DisableCooldown && (d.swappedLastQuantum(p.Pair.Low, q) || d.swappedLastQuantum(p.Pair.High, q)) {
+			continue
+		}
+		if !d.DisableProfitGate && !p.Pair.Equalize && p.Total <= 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// swappedLastQuantum reports whether tid was swapped within the cooldown
+// window ending at quantum q.
+func (d *Decider) swappedLastQuantum(tid machine.ThreadID, q int) bool {
+	last, ok := d.lastSwapped[tid]
+	return ok && q-last <= d.cooldown
+}
+
+// Committed records that both members of pair were swapped at quantum q.
+func (d *Decider) Committed(pair Pair, q int) {
+	d.lastSwapped[pair.Low] = q
+	d.lastSwapped[pair.High] = q
+}
+
+// Migrator executes accepted swaps by exchanging the two threads' core
+// affinities (§III-E): no third core is used, and the order of the two
+// migrations is immaterial, so Swap applies both atomically at the
+// quantum boundary.
+type Migrator struct {
+	m *machine.Machine
+}
+
+// NewMigrator returns a migrator over m.
+func NewMigrator(m *machine.Machine) *Migrator { return &Migrator{m: m} }
+
+// Apply performs the swaps in preds at time now, recording them with d
+// at quantum index q. It returns how many swaps were executed.
+func (mg *Migrator) Apply(preds []Prediction, d *Decider, q int, now sim.Time) int {
+	n := 0
+	for _, p := range preds {
+		if err := mg.m.Swap(p.Pair.Low, p.Pair.High, now); err != nil {
+			panic(err)
+		}
+		d.Committed(p.Pair, q)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+
+	"dike/internal/machine"
+	"dike/internal/sched"
+	"dike/internal/sim"
+	"dike/internal/stats"
+)
+
+// Dike is the paper's scheduler as a simulation policy. Construct with
+// New, then hand to the simulation engine; it observes the machine's
+// performance counters each quantum and re-maps threads to cores through
+// affinity swaps.
+type Dike struct {
+	m   *machine.Machine
+	cfg Config
+
+	obs *Observer
+	prd Predictor
+	dec *Decider
+	mig *Migrator
+	opt *Optimizer
+
+	swapSize int
+	quanta   sim.Time
+
+	placed     bool
+	quantumIdx int
+
+	// Prediction bookkeeping: what the predictor expected each thread's
+	// access rate to be this quantum (set at the end of the previous
+	// quantum), and accumulated per-thread error statistics.
+	predNext map[machine.ThreadID]float64
+	errSum   map[machine.ThreadID]float64
+	errCount map[machine.ThreadID]int
+	series   []ErrPoint
+
+	history []QuantumRecord
+}
+
+// ErrPoint is one quantum's mean prediction error (Fig 8's series).
+type ErrPoint struct {
+	Time sim.Time
+	// Mean is the mean signed relative error across threads observed
+	// this quantum; positive = overestimation.
+	Mean float64
+}
+
+// QuantumRecord captures one scheduling decision for traces and tests.
+type QuantumRecord struct {
+	Time       sim.Time
+	Fairness   float64 // gate value (mean per-process access-rate CV)
+	SwapSize   int
+	Quanta     sim.Time
+	Candidates int // pairs proposed by the Selector
+	Accepted   int // pairs surviving the Decider
+	MemThreads int
+	Alive      int
+}
+
+// errFloor and errClamp bound the per-quantum relative prediction error:
+// rates below errFloor (misses/ms) are too small for a meaningful
+// relative comparison, and single-quantum errors are clamped so one
+// burst cannot dominate a thread's run average.
+const (
+	errFloor = 0.2
+	errClamp = 1.5
+)
+
+// New builds a Dike policy over m with cfg (zero-value fields take
+// defaults from DefaultConfig).
+func New(m *machine.Machine, cfg Config) (*Dike, error) {
+	def := DefaultConfig()
+	if cfg.QuantaLength == 0 {
+		cfg.QuantaLength = def.QuantaLength
+	}
+	if cfg.SwapSize == 0 {
+		cfg.SwapSize = def.SwapSize
+	}
+	if cfg.FairnessThreshold == 0 {
+		cfg.FairnessThreshold = def.FairnessThreshold
+	}
+	if cfg.MissRatioThreshold == 0 {
+		cfg.MissRatioThreshold = def.MissRatioThreshold
+	}
+	if cfg.CoreBWAlpha == 0 {
+		cfg.CoreBWAlpha = def.CoreBWAlpha
+	}
+	if cfg.SwapOH == 0 {
+		cfg.SwapOH = def.SwapOH
+	}
+	if cfg.AdaptEvery == 0 {
+		cfg.AdaptEvery = def.AdaptEvery
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dike{
+		m:        m,
+		cfg:      cfg,
+		obs:      newObserver(m, cfg.CoreBWAlpha, cfg.MissRatioThreshold, cfg.UseIPCMetric),
+		prd:      Predictor{SwapOH: cfg.SwapOH},
+		dec:      NewDecider(),
+		mig:      NewMigrator(m),
+		swapSize: cfg.SwapSize,
+		quanta:   cfg.QuantaLength,
+		predNext: make(map[machine.ThreadID]float64),
+		errSum:   make(map[machine.ThreadID]float64),
+		errCount: make(map[machine.ThreadID]int),
+	}
+	d.dec.DisableProfitGate = cfg.DisableProfitGate
+	d.dec.DisableCooldown = cfg.DisableCooldown
+	if cfg.Goal != AdaptNone {
+		d.opt = NewOptimizer(cfg.Goal, cfg.SwapSize, cfg.QuantaLength, true)
+	}
+	return d, nil
+}
+
+// MustNew is New for known-valid configurations; it panics on error.
+func MustNew(m *machine.Machine, cfg Config) *Dike {
+	d, err := New(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements sched.Policy: "dike", "dike-af" or "dike-ap".
+func (d *Dike) Name() string {
+	switch d.cfg.Goal {
+	case AdaptFairness:
+		return "dike-af"
+	case AdaptPerformance:
+		return "dike-ap"
+	default:
+		return "dike"
+	}
+}
+
+// QuantaLength implements sched.Policy; adaptive modes change it as the
+// Optimizer retunes.
+func (d *Dike) QuantaLength() sim.Time { return d.quanta }
+
+// SwapSize returns the current swap size (adaptive modes change it).
+func (d *Dike) SwapSize() int { return d.swapSize }
+
+// Decider exposes the decider for ablation configuration; tests and the
+// ablation benches flip its Disable flags before a run starts.
+func (d *Dike) Decider() *Decider { return d.dec }
+
+// History returns the per-quantum decision records.
+func (d *Dike) History() []QuantumRecord { return d.history }
+
+// Quantum implements sched.Policy: one pass of the Figure 3 pipeline.
+func (d *Dike) Quantum(now sim.Time) {
+	if !d.placed {
+		if err := sched.SpreadPlacement(d.m, d.cfg.PlacementSeed); err != nil {
+			panic(err)
+		}
+		d.placed = true
+		d.obs.Observe(now) // establish counter baseline; no decisions yet
+		return
+	}
+
+	obs := d.obs.Observe(now)
+	if obs.Sample.Interval <= 0 || len(obs.Alive) == 0 {
+		return
+	}
+	d.quantumIdx++
+	d.recordErrors(obs)
+
+	// Adaptation (Optimizer), every AdaptEvery quanta.
+	if d.opt != nil && d.quantumIdx%d.cfg.AdaptEvery == 0 {
+		goal := obs.Fairness
+		if d.cfg.Goal == AdaptPerformance {
+			goal = d.instructionRate(obs)
+		}
+		d.opt.Step(obs, obs.Fairness, d.cfg.FairnessThreshold, goal)
+		d.swapSize, d.quanta = d.opt.Params()
+	}
+
+	rec := QuantumRecord{
+		Time:       now,
+		Fairness:   obs.Fairness,
+		SwapSize:   d.swapSize,
+		Quanta:     d.quanta,
+		MemThreads: obs.MemoryThreads(),
+		Alive:      len(obs.Alive),
+	}
+
+	// Default prediction: threads that stay put keep their access rate.
+	next := make(map[machine.ThreadID]float64, len(obs.Alive))
+	for _, id := range obs.Alive {
+		next[id] = obs.Rate[id]
+	}
+
+	// Fairness gate: act only when the system is unfair.
+	if obs.Fairness >= d.cfg.FairnessThreshold {
+		pairs := SelectPairs(obs, d.swapSize)
+		if d.cfg.DisableEqualization {
+			kept := pairs[:0]
+			for _, p := range pairs {
+				if !p.Equalize {
+					kept = append(kept, p)
+				}
+			}
+			pairs = kept
+		}
+		rec.Candidates = len(pairs)
+		preds := make([]Prediction, 0, len(pairs))
+		for _, p := range pairs {
+			preds = append(preds, d.prd.Predict(obs, p, d.quanta))
+		}
+		d.dec.SetQuanta(d.quanta)
+		accepted := d.dec.Filter(preds, d.quantumIdx)
+		rec.Accepted = len(accepted)
+		d.mig.Apply(accepted, d.dec, d.quantumIdx, now)
+		// Swapped threads are predicted to take over their destination
+		// core's bandwidth (Eqn 1's model).
+		for _, p := range accepted {
+			next[p.Pair.Low] = p.PredLowRate
+			next[p.Pair.High] = p.PredHighRate
+		}
+	}
+	d.predNext = next
+	d.history = append(d.history, rec)
+}
+
+// recordErrors folds this quantum's measured rates against the previous
+// quantum's predictions.
+func (d *Dike) recordErrors(obs *Observation) {
+	if len(d.predNext) == 0 {
+		return
+	}
+	sum, n := 0.0, 0
+	for _, id := range obs.Alive {
+		pred, ok := d.predNext[id]
+		if !ok {
+			continue
+		}
+		actual := obs.Rate[id]
+		denom := math.Max(actual, errFloor)
+		err := stats.Clamp((pred-actual)/denom, -errClamp, errClamp)
+		d.errSum[id] += err
+		d.errCount[id]++
+		sum += err
+		n++
+	}
+	if n > 0 {
+		d.series = append(d.series, ErrPoint{Time: obs.Now, Mean: sum / float64(n)})
+	}
+}
+
+// instructionRate is the Optimizer's performance goal metric: aggregate
+// retired instructions per ms this quantum.
+func (d *Dike) instructionRate(obs *Observation) float64 {
+	if obs.Sample.Interval <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, id := range obs.Alive {
+		// Instructions are PMU-visible; work units are not.
+		total += obs.Sample.Threads[id].Instructions
+	}
+	return total / obs.Sample.Interval
+}
+
+// PredStats summarises prediction accuracy over a run.
+type PredStats struct {
+	// PerThread is each thread's run-averaged signed relative error.
+	PerThread map[machine.ThreadID]float64
+}
+
+// MinAvgMax returns the minimum, mean and maximum of the per-thread
+// averaged errors (Fig 7's three series). Zeroes if no data.
+func (ps PredStats) MinAvgMax() (lo, avg, hi float64) {
+	if len(ps.PerThread) == 0 {
+		return 0, 0, 0
+	}
+	vals := make([]float64, 0, len(ps.PerThread))
+	for _, v := range ps.PerThread {
+		vals = append(vals, v)
+	}
+	lo, _ = stats.Min(vals)
+	hi, _ = stats.Max(vals)
+	return lo, stats.Mean(vals), hi
+}
+
+// PredictionStats returns the per-thread averaged prediction errors
+// accumulated so far.
+func (d *Dike) PredictionStats() PredStats {
+	out := PredStats{PerThread: make(map[machine.ThreadID]float64, len(d.errSum))}
+	for id, sum := range d.errSum {
+		if c := d.errCount[id]; c > 0 {
+			out.PerThread[id] = sum / float64(c)
+		}
+	}
+	return out
+}
+
+// ErrorSeries returns the per-quantum mean prediction error time series.
+func (d *Dike) ErrorSeries() []ErrPoint { return d.series }

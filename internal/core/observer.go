@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sort"
+
+	"dike/internal/machine"
+	"dike/internal/sched"
+	"dike/internal/sim"
+	"dike/internal/stats"
+)
+
+// ThreadClass is the Observer's online classification of a thread.
+type ThreadClass int
+
+const (
+	// ComputeClass threads mostly hit in the LLC ("C").
+	ComputeClass ThreadClass = iota
+	// MemoryClass threads miss to DRAM on more than the configured
+	// fraction of LLC accesses ("M").
+	MemoryClass
+)
+
+// String returns "C" or "M".
+func (c ThreadClass) String() string {
+	if c == MemoryClass {
+		return "M"
+	}
+	return "C"
+}
+
+// Observation is everything one quantum of observing yields: the raw
+// counter sample, thread classifications, access rates, the per-core
+// bandwidth estimates, and the high/low-bandwidth core partition.
+type Observation struct {
+	Now    sim.Time
+	Sample *sched.Sample
+	// Alive lists live threads in ascending id order.
+	Alive []machine.ThreadID
+	// Class is the current per-thread classification.
+	Class map[machine.ThreadID]ThreadClass
+	// Rate is the measured access rate (misses/ms) per thread.
+	Rate map[machine.ThreadID]float64
+	// Baseline is the thread's intrinsic demand estimate: the mean
+	// access rate of its process's threads this quantum. Homogeneous
+	// threads of one process doing equal work make this a core-agnostic
+	// demand figure.
+	Baseline map[machine.ThreadID]float64
+	// Instr is each thread's cumulative retired-instruction count — the
+	// PMU-visible progress proxy the Selector uses to rotate lagging
+	// siblings onto fast cores.
+	Instr map[machine.ThreadID]float64
+	// CoreOf is each thread's current core.
+	CoreOf map[machine.ThreadID]machine.CoreID
+	// Proc maps each thread to its process (benchmark) id. Process
+	// membership is OS-visible (tgid), so using it carries no a priori
+	// knowledge about application character.
+	Proc map[machine.ThreadID]int
+	// CoreBW is the per-core moving-mean served bandwidth (misses/ms) —
+	// the paper's CoreBW variable in raw form; kept for diagnostics.
+	CoreBW []float64
+	// Capability is the per-core relative bandwidth capability estimate
+	// (1.0 = average core): the moving mean of occupants' access rates
+	// normalized by their process baselines. A thread running faster
+	// than its process siblings reveals a strong core; slower, a weak
+	// or contended one. This is the closed-loop realisation of the
+	// paper's core identification: it needs no frequency tables and
+	// tracks contention ("a core may become low-bandwidth due to
+	// contention").
+	Capability []float64
+	// HighBW marks cores in the higher-capability half of the occupied
+	// cores (the Observer's "core identification").
+	HighBW map[machine.CoreID]bool
+	// SystemCV is the coefficient of variation of all alive threads'
+	// access rates, for diagnostics.
+	SystemCV float64
+	// Fairness is the Selector's gate value: the worst (maximum) over
+	// processes of the coefficient of variation of access rates among
+	// that process's threads. Homogeneous threads of one process
+	// progressing at equal rates ⇒ low CV ⇒ fair; taking the worst
+	// process makes the gate an online analogue of Eqn 4 that only
+	// closes when every application is progressing uniformly.
+	Fairness float64
+}
+
+// MemoryThreads returns how many alive threads are classified M.
+func (o *Observation) MemoryThreads() int {
+	n := 0
+	for _, id := range o.Alive {
+		if o.Class[id] == MemoryClass {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeThreads returns how many alive threads are classified C.
+func (o *Observation) ComputeThreads() int { return len(o.Alive) - o.MemoryThreads() }
+
+// PredictRate is the Observer-backed estimate of the access rate thread
+// id would achieve on core c: the core's relative capability times the
+// thread's intrinsic demand baseline. It is the quantity Eqn 1 calls
+// CoreBW — "the thread consumes the new core's bandwidth" — expressed in
+// the migrating thread's own demand units so that swapping a compute
+// thread onto a big core is not predicted to magically produce a memory
+// hog's bandwidth.
+func (o *Observation) PredictRate(id machine.ThreadID, c machine.CoreID) float64 {
+	return o.Capability[c] * o.Baseline[id]
+}
+
+// baselineAlpha is the EWMA weight for the per-process demand baseline.
+const baselineAlpha = 0.3
+
+// minBaseline is the smallest process-mean access rate considered
+// informative for capability estimation; below it the occupant reveals
+// nothing about the core (an idle or stalled process).
+const minBaseline = 0.02
+
+// Observer performs the paper's two observation jobs (§III-A): thread
+// classification (memory vs compute intensive, from measured LLC miss
+// ratios) and core identification (higher vs lower bandwidth cores, via
+// the per-core capability moving means). It sees only performance
+// counters plus OS-visible process membership.
+type Observer struct {
+	m       *machine.Machine
+	sampler *sched.Sampler
+	missTh  float64
+	// useIPC switches the contention metric from memory access rate to
+	// instructions per ms (ablation only; see Config.UseIPCMetric).
+	useIPC bool
+	coreBW []*stats.MovingMean
+	capab  []*stats.MovingMean
+	class  map[machine.ThreadID]ThreadClass
+	// procBase smooths each process's mean access rate across quanta so
+	// that a single burst quantum does not fling a whole process across
+	// the placement boundary and back (burst-chasing churn).
+	procBase map[int]*stats.MovingMean
+}
+
+// NewObserver builds an observer over m. alpha is the EWMA weight for
+// both CoreBW and capability; missTh the M/C miss-ratio boundary.
+func NewObserver(m *machine.Machine, alpha, missTh float64) *Observer {
+	return newObserver(m, alpha, missTh, false)
+}
+
+// newObserver additionally selects the contention metric (ablation).
+func newObserver(m *machine.Machine, alpha, missTh float64, useIPC bool) *Observer {
+	n := m.Topology().NumCores()
+	bw := make([]*stats.MovingMean, n)
+	cp := make([]*stats.MovingMean, n)
+	for i := range bw {
+		bw[i] = stats.NewMovingMean(alpha)
+		cp[i] = stats.NewMovingMean(alpha)
+	}
+	return &Observer{
+		m:        m,
+		sampler:  sched.NewSampler(m),
+		missTh:   missTh,
+		useIPC:   useIPC,
+		coreBW:   bw,
+		capab:    cp,
+		class:    make(map[machine.ThreadID]ThreadClass),
+		procBase: make(map[int]*stats.MovingMean),
+	}
+}
+
+// Observe samples the counters at time now and derives the quantum's
+// Observation. The first call of a run yields Interval 0 and no rates;
+// Dike skips scheduling on it.
+func (o *Observer) Observe(now sim.Time) *Observation {
+	sample := o.sampler.Sample(now)
+	alive := o.m.Alive()
+	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+
+	obs := &Observation{
+		Now:      now,
+		Sample:   sample,
+		Alive:    alive,
+		Class:    make(map[machine.ThreadID]ThreadClass, len(alive)),
+		Rate:     make(map[machine.ThreadID]float64, len(alive)),
+		Baseline: make(map[machine.ThreadID]float64, len(alive)),
+		Instr:    make(map[machine.ThreadID]float64, len(alive)),
+		CoreOf:   make(map[machine.ThreadID]machine.CoreID, len(alive)),
+		Proc:     make(map[machine.ThreadID]int, len(alive)),
+		HighBW:   make(map[machine.CoreID]bool),
+	}
+
+	rates := make([]float64, 0, len(alive))
+	byProc := make(map[int][]float64)
+	for _, id := range alive {
+		delta := sample.Threads[id]
+		rate := delta.AccessRate()
+		if o.useIPC {
+			// Ablation: rank, gate and predict on IPC instead. Scaled
+			// down so magnitudes are comparable to access rates.
+			rate = delta.IPS() / 1000
+		}
+		obs.Rate[id] = rate
+		rates = append(rates, rate)
+		obs.Instr[id] = o.m.Counters().Thread(int(id)).Instructions
+		core, err := o.m.CoreOf(id)
+		if err != nil {
+			panic(err)
+		}
+		obs.CoreOf[id] = core
+		proc, err := o.m.BenchOf(id)
+		if err != nil {
+			panic(err)
+		}
+		obs.Proc[id] = proc
+		byProc[proc] = append(byProc[proc], rate)
+
+		// Reclassify only when the thread actually issued accesses this
+		// quantum; a thread stalled by a migration keeps its old class.
+		if delta.Accesses > 0 {
+			if delta.MissRatio() > o.missTh {
+				o.class[id] = MemoryClass
+			} else {
+				o.class[id] = ComputeClass
+			}
+		}
+		obs.Class[id] = o.class[id]
+	}
+	obs.SystemCV = stats.CV(rates)
+	procMean := make(map[int]float64, len(byProc))
+	for p, rs := range byProc {
+		mean := stats.Mean(rs)
+		if sample.Interval > 0 {
+			mm := o.procBase[p]
+			if mm == nil {
+				mm = stats.NewMovingMean(baselineAlpha)
+				o.procBase[p] = mm
+			}
+			mm.Add(mean)
+			mean = mm.Value()
+		}
+		procMean[p] = mean
+		if cv := stats.CV(rs); cv > obs.Fairness {
+			obs.Fairness = cv
+		}
+	}
+	for _, id := range alive {
+		obs.Baseline[id] = procMean[obs.Proc[id]]
+	}
+
+	// Fold this quantum's measurements into the per-core estimates:
+	// served bandwidth (raw CoreBW) and relative capability (occupant
+	// rate over its process baseline).
+	if sample.Interval > 0 {
+		for c := range o.coreBW {
+			o.coreBW[c].Add(sample.Cores[c].Bandwidth())
+		}
+		for _, id := range alive {
+			base := obs.Baseline[id]
+			if base < minBaseline {
+				continue
+			}
+			c := obs.CoreOf[id]
+			o.capab[int(c)].Add(obs.Rate[id] / base)
+		}
+	}
+	obs.CoreBW = make([]float64, len(o.coreBW))
+	obs.Capability = make([]float64, len(o.capab))
+	for c := range o.coreBW {
+		obs.CoreBW[c] = o.coreBW[c].Value()
+		if o.capab[c].Count() > 0 {
+			obs.Capability[c] = o.capab[c].Value()
+		} else {
+			// Unvisited cores are assumed average until probed.
+			obs.Capability[c] = 1
+		}
+	}
+
+	// Core identification: median split of capability over occupied
+	// cores. Strictly-greater-than-median marks the high half so that a
+	// degenerate all-equal state (cold start) classifies everything low
+	// and the Selector stays quiet rather than thrashing.
+	occupied := make(map[machine.CoreID]bool, len(alive))
+	for _, c := range obs.CoreOf {
+		occupied[c] = true
+	}
+	if len(occupied) > 1 {
+		caps := make([]float64, 0, len(occupied))
+		for c := range occupied {
+			caps = append(caps, obs.Capability[c])
+		}
+		median := stats.Median(caps)
+		for c := range occupied {
+			if obs.Capability[c] > median {
+				obs.HighBW[c] = true
+			}
+		}
+	}
+	return obs
+}
+
+// CoreBW returns the current raw moving-mean served bandwidth of core c.
+func (o *Observer) CoreBW(c machine.CoreID) float64 { return o.coreBW[int(c)].Value() }
+
+// Capability returns the current relative capability estimate of core c
+// (1.0 before any sample).
+func (o *Observer) Capability(c machine.CoreID) float64 {
+	if o.capab[int(c)].Count() == 0 {
+		return 1
+	}
+	return o.capab[int(c)].Value()
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"dike/internal/machine"
+	"dike/internal/sched"
+	"dike/internal/sim"
+)
+
+// twoClassMachine builds a machine with one memory-intensive process (8
+// threads) and one compute-intensive process (8 threads), spread half on
+// fast and half on slow cores.
+func twoClassMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m := machine.MustNew(machine.DefaultConfig())
+	mem := machine.Demand{AccessesPerWork: 10, MissRatio: 0.5}
+	comp := machine.Demand{AccessesPerWork: 3, MissRatio: 0.03}
+	fast := m.Topology().FastCores()
+	slow := m.Topology().SlowCores()
+	for i := 0; i < 8; i++ {
+		if err := m.AddThread(machine.ThreadID(i), 0, machine.ConstProgram{Work: 1e6, Demand: mem}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if err := m.AddThread(machine.ThreadID(i), 1, machine.ConstProgram{Work: 1e6, Demand: comp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Half of each process on each core kind, one thread per physical
+	// core to keep SMT out of the picture.
+	for i := 0; i < 4; i++ {
+		m.Place(machine.ThreadID(i), fast[i*2])
+		m.Place(machine.ThreadID(i+4), slow[i*2])
+		m.Place(machine.ThreadID(i+8), fast[8+i*2])
+		m.Place(machine.ThreadID(i+12), slow[8+i*2])
+	}
+	return m
+}
+
+func observeAfter(t *testing.T, m *machine.Machine, o *Observer, from, to sim.Time) *Observation {
+	t.Helper()
+	for now := from; now < to; now++ {
+		m.Step(now, 1)
+	}
+	return o.Observe(to)
+}
+
+func TestObserverClassification(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	o.Observe(0)
+	obs := observeAfter(t, m, o, 0, 500)
+	for i := 0; i < 8; i++ {
+		if obs.Class[machine.ThreadID(i)] != MemoryClass {
+			t.Errorf("thread %d classified %v, want M", i, obs.Class[machine.ThreadID(i)])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if obs.Class[machine.ThreadID(i)] != ComputeClass {
+			t.Errorf("thread %d classified %v, want C", i, obs.Class[machine.ThreadID(i)])
+		}
+	}
+	if obs.MemoryThreads() != 8 || obs.ComputeThreads() != 8 {
+		t.Errorf("counts = %d M / %d C", obs.MemoryThreads(), obs.ComputeThreads())
+	}
+}
+
+func TestObserverCapabilityIdentifiesFastCores(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	o.Observe(0)
+	var obs *Observation
+	last := sim.Time(0)
+	for q := 1; q <= 6; q++ {
+		obs = observeAfter(t, m, o, last, sim.Time(q*500))
+		last = sim.Time(q * 500)
+	}
+	topo := m.Topology()
+	// Every occupied fast core must estimate a higher capability than
+	// every occupied slow core.
+	minFast, maxSlow := 1e9, -1e9
+	for _, id := range obs.Alive {
+		c := obs.CoreOf[id]
+		cap := obs.Capability[c]
+		if topo.Core(c).Kind == machine.FastCore {
+			if cap < minFast {
+				minFast = cap
+			}
+		} else if cap > maxSlow {
+			maxSlow = cap
+		}
+	}
+	if minFast <= maxSlow {
+		t.Errorf("capability overlap: min fast %v <= max slow %v", minFast, maxSlow)
+	}
+	// And the HighBW partition therefore marks exactly the fast cores.
+	for _, id := range obs.Alive {
+		c := obs.CoreOf[id]
+		isFast := topo.Core(c).Kind == machine.FastCore
+		if obs.HighBW[c] != isFast {
+			t.Errorf("core %d highBW=%v, kind=%v", c, obs.HighBW[c], topo.Core(c).Kind)
+		}
+	}
+}
+
+func TestObserverBaselinePerProcess(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	o.Observe(0)
+	obs := observeAfter(t, m, o, 0, 500)
+	// All threads of one process share a baseline.
+	b0 := obs.Baseline[0]
+	for i := 1; i < 8; i++ {
+		if obs.Baseline[machine.ThreadID(i)] != b0 {
+			t.Error("process baselines differ across siblings")
+		}
+	}
+	// Memory baseline far above compute baseline.
+	if obs.Baseline[0] < 5*obs.Baseline[8] {
+		t.Errorf("baselines not separated: %v vs %v", obs.Baseline[0], obs.Baseline[8])
+	}
+}
+
+func TestObserverFairnessGate(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	o.Observe(0)
+	obs := observeAfter(t, m, o, 0, 500)
+	// Threads of each process straddle fast/slow cores: rates within a
+	// process differ, so the gate must read unfair.
+	if obs.Fairness < 0.1 {
+		t.Errorf("gate = %v, want unfair (>0.1)", obs.Fairness)
+	}
+	// Instr is cumulative and positive.
+	for _, id := range obs.Alive {
+		if obs.Instr[id] <= 0 {
+			t.Errorf("thread %d instr = %v", id, obs.Instr[id])
+		}
+	}
+}
+
+func TestObserverFirstSampleInert(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	obs := o.Observe(0)
+	if obs.Sample.Interval != 0 {
+		t.Error("first sample has a nonzero interval")
+	}
+	for c := range obs.Capability {
+		if obs.Capability[c] != 1 {
+			t.Error("capability moved before any measurement")
+		}
+	}
+}
+
+func TestObserverStalledThreadKeepsClass(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	o.Observe(0)
+	obs := observeAfter(t, m, o, 0, 500)
+	if obs.Class[0] != MemoryClass {
+		t.Fatal("setup: thread 0 should be M")
+	}
+	// Freeze thread 0 with a long migration stall, then observe over a
+	// window where it issues nothing: classification must persist.
+	cfg := m.Config()
+	_ = cfg
+	dest := m.Topology().SlowCores()[9]
+	if err := m.Migrate(0, dest, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Observe a window shorter than the stall.
+	m.Step(500, 1)
+	obs = o.Observe(502)
+	if obs.Class[0] != MemoryClass {
+		t.Error("stalled thread lost its classification")
+	}
+}
+
+var _ = sched.Sample{} // keep the import meaningful if helpers change
+
+func TestObserverGetters(t *testing.T) {
+	m := twoClassMachine(t)
+	o := NewObserver(m, 0.25, 0.10)
+	// Before any sample: raw CoreBW 0, capability neutral 1.
+	if o.CoreBW(0) != 0 {
+		t.Errorf("CoreBW before samples = %v", o.CoreBW(0))
+	}
+	if o.Capability(0) != 1 {
+		t.Errorf("Capability before samples = %v", o.Capability(0))
+	}
+	o.Observe(0)
+	observeAfter(t, m, o, 0, 500)
+	// A core hosting a memory thread now reports served bandwidth.
+	core, _ := m.CoreOf(0)
+	if o.CoreBW(core) <= 0 {
+		t.Errorf("CoreBW after samples = %v", o.CoreBW(core))
+	}
+	if o.Capability(core) <= 0 {
+		t.Errorf("Capability after samples = %v", o.Capability(core))
+	}
+}
+
+func TestObserverIPCMetric(t *testing.T) {
+	m := twoClassMachine(t)
+	o := newObserver(m, 0.25, 0.10, true)
+	o.Observe(0)
+	obs := observeAfter(t, m, o, 0, 500)
+	// Under IPC, compute threads score HIGHER than memory threads — the
+	// inversion the paper warns about.
+	if obs.Rate[8] <= obs.Rate[0] {
+		t.Errorf("IPC metric: compute %v not above memory %v", obs.Rate[8], obs.Rate[0])
+	}
+	// Classification is metric-independent (still miss-ratio based).
+	if obs.Class[0] != MemoryClass || obs.Class[8] != ComputeClass {
+		t.Error("classification changed under IPC metric")
+	}
+}

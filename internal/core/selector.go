@@ -1,0 +1,296 @@
+package core
+
+import (
+	"sort"
+
+	"dike/internal/machine"
+)
+
+// Pair is a candidate swap: a low-access thread and a high-access thread
+// (the paper's ⟨t_l, t_h⟩).
+type Pair struct {
+	Low  machine.ThreadID
+	High machine.ThreadID
+	// Equalize marks an intra-process fairness pair: High is a lagging
+	// sibling on a weaker core, Low its most-ahead sibling on a stronger
+	// one. The Decider judges these on fairness benefit rather than
+	// access-rate profit (§III-D: "each swap benefits fairness or
+	// performance").
+	Equalize bool
+}
+
+// Selector tuning constants.
+const (
+	// PairDeadband is the minimum relative demand gap between the two
+	// members of a cross-process pair. Swapping threads with
+	// near-identical demand cannot improve the mapping; the apparent
+	// violation is measurement noise at the placement boundary.
+	PairDeadband = 0.15
+	// ProgressDeadband is the minimum relative progress imbalance
+	// (retired instructions, normalised by the process mean) for an
+	// intra-process pair. Siblings within it are already fair.
+	ProgressDeadband = 0.03
+	// EqualizeCapMargin is how much stronger the ahead-sibling's core
+	// must be (relative capability) before an equalization swap is
+	// worth its migration cost.
+	EqualizeCapMargin = 1.05
+	// baselineTie is the relative demand difference under which two
+	// threads are considered demand-tied and ordered by progress.
+	baselineTie = 1e-9
+)
+
+// Ranking is the Selector's view of one quantum: threads ordered by
+// demand and the placement boundary implied by the number of occupied
+// high-bandwidth cores. The paper's ideal mapping "has high-access
+// threads bound to high bandwidth cores and low-access threads bound to
+// low bandwidth cores"; with k high-bandwidth cores occupied, the ideal
+// mapping puts exactly the k most demanding threads on them. A violator
+// is a thread on the wrong side of that boundary for its current core.
+//
+// Two reproduction-motivated refinements over a literal reading of
+// Algorithm 1 (recorded in DESIGN.md):
+//
+//   - Threads are ordered by *demand baseline* (their process's mean
+//     access rate) rather than their individual measured rate. The
+//     individual rate is endogenous to placement — being on a slow core
+//     depresses exactly the rate that would justify staying there — so
+//     rate-ranked placement is self-fulfilling and never rotates.
+//   - Demand ties (homogeneous siblings) are ordered by progress
+//     deficit: the sibling that has retired the fewest instructions
+//     ranks highest and therefore claims a high-bandwidth core first.
+//     This realises the paper's "Dike will naturally migrate threads so
+//     that the rule is obeyed, on average, across several quanta": when
+//     a process straddles the boundary, its lagging threads rotate onto
+//     fast cores until runtimes equalise.
+type Ranking struct {
+	// Sorted lists alive threads by ascending demand rank.
+	Sorted []machine.ThreadID
+	// Boundary is the index in Sorted at which the high-demand region
+	// begins: threads at index >= Boundary deserve high-bandwidth cores.
+	Boundary int
+	obs      *Observation
+}
+
+// NewRanking orders obs's alive threads and locates the placement
+// boundary. All orderings break final ties by thread id, so runs are
+// deterministic.
+func NewRanking(obs *Observation) *Ranking {
+	sorted := make([]machine.ThreadID, len(obs.Alive))
+	copy(sorted, obs.Alive)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		ba, bb := obs.Baseline[a], obs.Baseline[b]
+		if diff := ba - bb; diff < -baselineTie || diff > baselineTie {
+			return ba < bb
+		}
+		// Demand tie: more progress sorts lower (less deserving of a
+		// fast core). Only meaningful within a process, but harmless as
+		// a global rule since cross-process exact ties are accidental.
+		ia, ib := obs.Instr[a], obs.Instr[b]
+		if ia != ib {
+			return ia > ib
+		}
+		return a < b
+	})
+	// Count occupied high-bandwidth cores: that is how many threads the
+	// ideal mapping can put on the high side.
+	k := 0
+	seen := make(map[machine.CoreID]bool, len(obs.CoreOf))
+	for _, c := range obs.CoreOf {
+		if !seen[c] {
+			seen[c] = true
+			if obs.HighBW[c] {
+				k++
+			}
+		}
+	}
+	boundary := len(sorted) - k
+	if boundary < 0 {
+		boundary = 0
+	}
+	return &Ranking{Sorted: sorted, Boundary: boundary, obs: obs}
+}
+
+// HighDeserving reports whether the thread at sorted index i belongs in
+// the high-demand region.
+func (r *Ranking) HighDeserving(i int) bool { return i >= r.Boundary }
+
+// Violator reports whether the thread at sorted index i breaks the
+// placement rule: a high-demand thread on a low-bandwidth core, or a
+// low-demand thread on a high-bandwidth core.
+func (r *Ranking) Violator(i int) bool {
+	onHigh := r.obs.HighBW[r.obs.CoreOf[r.Sorted[i]]]
+	return r.HighDeserving(i) != onHigh
+}
+
+// admissible reports whether the candidate pair (low-side index h,
+// high-side index t in r.Sorted) clears the dead-bands.
+func (r *Ranking) admissible(h, t int) bool {
+	lo, hi := r.Sorted[h], r.Sorted[t]
+	obs := r.obs
+	if obs.Proc[lo] == obs.Proc[hi] {
+		// Intra-process rotation: only worthwhile if the sibling on the
+		// better core is materially ahead.
+		mean := 0.0
+		n := 0
+		for _, id := range obs.Alive {
+			if obs.Proc[id] == obs.Proc[lo] {
+				mean += obs.Instr[id]
+				n++
+			}
+		}
+		if n == 0 || mean == 0 {
+			return false
+		}
+		mean /= float64(n)
+		return (obs.Instr[lo]-obs.Instr[hi])/mean > ProgressDeadband
+	}
+	bl, bh := obs.Baseline[lo], obs.Baseline[hi]
+	return bh-bl > PairDeadband*bh
+}
+
+// SelectPairs implements Algorithm 1: rank the alive threads by demand,
+// then walk two pointers inward pairing placement violators — the
+// lowest-demand violator (a thread squatting on a high-bandwidth core)
+// with the highest-demand violator (a demanding thread stuck on a
+// low-bandwidth core) — until swapSize threads are covered or the
+// pointers cross. Swapping such a pair repairs both placements at once.
+// If every thread has the same class, pairs are formed from both ends
+// regardless of the placement rule (Algorithm 1 lines 10–15).
+//
+// The fairness gate (skip the quantum when the system is fair) lives in
+// Dike's quantum loop; SelectPairs assumes the system is already known
+// to be unfair.
+func SelectPairs(obs *Observation, swapSize int) []Pair {
+	n := len(obs.Alive)
+	if n < 2 || swapSize < 2 {
+		return nil
+	}
+	maxPairs := swapSize / 2
+	r := NewRanking(obs)
+
+	// All threads the same type: pair from both ends regardless of the
+	// placement rule.
+	if sameClass(obs) {
+		var pairs []Pair
+		for k := 0; k < maxPairs && k < n-1-k; k++ {
+			if !r.admissible(k, n-1-k) {
+				continue
+			}
+			pairs = append(pairs, Pair{Low: r.Sorted[k], High: r.Sorted[n-1-k]})
+		}
+		return pairs
+	}
+
+	var pairs []Pair
+	head, tail := 0, n-1
+	for len(pairs) < maxPairs && head < tail {
+		// Advance head to the next low-side violator.
+		for head < n && !(r.Violator(head) && !r.HighDeserving(head)) {
+			head++
+		}
+		// Retreat tail to the next high-side violator.
+		for tail >= 0 && !(r.Violator(tail) && r.HighDeserving(tail)) {
+			tail--
+		}
+		if head >= tail || head >= n || tail < 0 {
+			break // pointers crossed: fewer violators than swapSize
+		}
+		if !r.admissible(head, tail) {
+			head++ // look for a more distinct low-side candidate
+			continue
+		}
+		pairs = append(pairs, Pair{Low: r.Sorted[head], High: r.Sorted[tail]})
+		head++
+		tail--
+	}
+	pairs = appendEqualizePairs(obs, pairs, maxPairs)
+	return pairs
+}
+
+// appendEqualizePairs fills remaining pair slots with intra-process
+// equalization swaps: for each process whose siblings have drifted apart
+// in progress, pair the most-behind thread (High) with the most-ahead
+// one (Low) when the ahead thread holds a materially stronger core.
+// Swapping them hands the laggard the better core, which is how the
+// placement rule is "obeyed, on average, across several quanta" even for
+// imbalances the rule itself cannot see — e.g. luck in SMT-sibling
+// pairings or leftover migration penalties.
+func appendEqualizePairs(obs *Observation, pairs []Pair, maxPairs int) []Pair {
+	if len(pairs) >= maxPairs {
+		return pairs
+	}
+	used := make(map[machine.ThreadID]bool, 2*len(pairs))
+	for _, p := range pairs {
+		used[p.Low] = true
+		used[p.High] = true
+	}
+	byProc := make(map[int][]machine.ThreadID)
+	for _, id := range obs.Alive {
+		if !used[id] {
+			byProc[obs.Proc[id]] = append(byProc[obs.Proc[id]], id)
+		}
+	}
+	type cand struct {
+		pair   Pair
+		spread float64
+	}
+	var cands []cand
+	for _, ids := range byProc {
+		if len(ids) < 2 {
+			continue
+		}
+		ahead, behind := ids[0], ids[0]
+		mean := 0.0
+		for _, id := range ids {
+			mean += obs.Instr[id]
+			if obs.Instr[id] > obs.Instr[ahead] {
+				ahead = id
+			}
+			if obs.Instr[id] < obs.Instr[behind] {
+				behind = id
+			}
+		}
+		mean /= float64(len(ids))
+		if mean <= 0 {
+			continue
+		}
+		spread := (obs.Instr[ahead] - obs.Instr[behind]) / mean
+		if spread <= 2*ProgressDeadband {
+			continue
+		}
+		capAhead := obs.Capability[obs.CoreOf[ahead]]
+		capBehind := obs.Capability[obs.CoreOf[behind]]
+		if capAhead <= capBehind*EqualizeCapMargin {
+			continue
+		}
+		cands = append(cands, cand{pair: Pair{Low: ahead, High: behind, Equalize: true}, spread: spread})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].spread != cands[j].spread {
+			return cands[i].spread > cands[j].spread
+		}
+		return cands[i].pair.High < cands[j].pair.High
+	})
+	for _, c := range cands {
+		if len(pairs) >= maxPairs {
+			break
+		}
+		pairs = append(pairs, c.pair)
+	}
+	return pairs
+}
+
+// sameClass reports whether every alive thread has the same class.
+func sameClass(obs *Observation) bool {
+	if len(obs.Alive) == 0 {
+		return true
+	}
+	first := obs.Class[obs.Alive[0]]
+	for _, id := range obs.Alive[1:] {
+		if obs.Class[id] != first {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+// Package counters emulates the hardware performance counters the paper's
+// Observer reads. The machine model is the only writer; schedulers are
+// read-only consumers and may observe nothing about a thread beyond what a
+// real PMU would expose — cumulative instruction, LLC-access and LLC-miss
+// counts — plus per-core served-bandwidth counts (the uncore counters used
+// to maintain the paper's CoreBW estimate).
+//
+// Counters are cumulative; rate-style metrics (memory access rate, miss
+// ratio) are derived by differencing snapshots across a quantum, exactly
+// as a sampling profiler would.
+package counters
+
+import "fmt"
+
+// ThreadCounters is the cumulative counter block for one thread.
+type ThreadCounters struct {
+	Work         float64 // abstract work units completed (not PMU-visible; used only by metrics)
+	Instructions float64 // retired instructions (proportional to work)
+	Accesses     float64 // LLC accesses
+	Misses       float64 // LLC misses, i.e. main-memory transactions
+	StallTime    float64 // ms spent stalled on migrations
+	Migrations   int     // number of times the thread changed cores
+}
+
+// CoreCounters is the cumulative counter block for one logical core.
+type CoreCounters struct {
+	ServedMisses float64 // memory transactions issued by threads while on this core
+	BusyTime     float64 // ms with at least one unfinished thread resident
+}
+
+// File holds all counters for a machine. The zero value is unusable;
+// construct with NewFile.
+type File struct {
+	threads map[int]*ThreadCounters
+	cores   []CoreCounters
+}
+
+// NewFile returns a counter file for nCores logical cores.
+func NewFile(nCores int) *File {
+	return &File{
+		threads: make(map[int]*ThreadCounters),
+		cores:   make([]CoreCounters, nCores),
+	}
+}
+
+// AddThread registers a thread id. It panics on duplicates: thread ids are
+// assigned once by the machine and a collision is a programming error.
+func (f *File) AddThread(tid int) {
+	if _, ok := f.threads[tid]; ok {
+		panic(fmt.Sprintf("counters: duplicate thread %d", tid))
+	}
+	f.threads[tid] = &ThreadCounters{}
+}
+
+// MutThread returns the mutable counter block for tid, for the machine's
+// use only. It panics on unknown ids.
+func (f *File) MutThread(tid int) *ThreadCounters {
+	tc, ok := f.threads[tid]
+	if !ok {
+		panic(fmt.Sprintf("counters: unknown thread %d", tid))
+	}
+	return tc
+}
+
+// MutCore returns the mutable counter block for core c.
+func (f *File) MutCore(c int) *CoreCounters { return &f.cores[c] }
+
+// Thread returns a copy of the counter block for tid.
+func (f *File) Thread(tid int) ThreadCounters { return *f.MutThread(tid) }
+
+// Core returns a copy of the counter block for core c.
+func (f *File) Core(c int) CoreCounters { return f.cores[c] }
+
+// NumCores returns the number of logical cores tracked.
+func (f *File) NumCores() int { return len(f.cores) }
+
+// ThreadIDs returns the registered thread ids in unspecified order.
+func (f *File) ThreadIDs() []int {
+	ids := make([]int, 0, len(f.threads))
+	for id := range f.threads {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// ThreadDelta is the difference of two thread counter snapshots over an
+// interval, with derived rates.
+type ThreadDelta struct {
+	Interval     float64 // ms
+	Work         float64 // simulator-internal; not PMU-visible
+	Instructions float64
+	Accesses     float64
+	Misses       float64
+	Migrations   int
+}
+
+// IPS returns retired instructions per ms over the interval.
+func (d ThreadDelta) IPS() float64 {
+	if d.Interval <= 0 {
+		return 0
+	}
+	return d.Instructions / d.Interval
+}
+
+// AccessRate returns LLC misses per ms over the interval — the paper's
+// "memory access rate", its primary contention metric.
+func (d ThreadDelta) AccessRate() float64 {
+	if d.Interval <= 0 {
+		return 0
+	}
+	return d.Misses / d.Interval
+}
+
+// MissRatio returns misses/accesses over the interval (0 when the thread
+// performed no accesses). The paper classifies a thread as memory
+// intensive when this exceeds 10%.
+func (d ThreadDelta) MissRatio() float64 {
+	if d.Accesses <= 0 {
+		return 0
+	}
+	return d.Misses / d.Accesses
+}
+
+// DiffThread returns the delta between a previous snapshot and the current
+// counters for tid over interval ms.
+func (f *File) DiffThread(tid int, prev ThreadCounters, interval float64) ThreadDelta {
+	cur := f.Thread(tid)
+	return ThreadDelta{
+		Interval:     interval,
+		Work:         cur.Work - prev.Work,
+		Instructions: cur.Instructions - prev.Instructions,
+		Accesses:     cur.Accesses - prev.Accesses,
+		Misses:       cur.Misses - prev.Misses,
+		Migrations:   cur.Migrations - prev.Migrations,
+	}
+}
+
+// CoreDelta is the difference of two core counter snapshots.
+type CoreDelta struct {
+	Interval     float64
+	ServedMisses float64
+}
+
+// Bandwidth returns the achieved memory bandwidth (misses served per ms)
+// of the core over the interval.
+func (d CoreDelta) Bandwidth() float64 {
+	if d.Interval <= 0 {
+		return 0
+	}
+	return d.ServedMisses / d.Interval
+}
+
+// DiffCore returns the delta between a previous snapshot and the current
+// counters for core c over interval ms.
+func (f *File) DiffCore(c int, prev CoreCounters, interval float64) CoreDelta {
+	cur := f.Core(c)
+	return CoreDelta{
+		Interval:     interval,
+		ServedMisses: cur.ServedMisses - prev.ServedMisses,
+	}
+}

@@ -1,0 +1,129 @@
+package counters
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileAddAndRead(t *testing.T) {
+	f := NewFile(4)
+	f.AddThread(0)
+	f.AddThread(7)
+	if f.NumCores() != 4 {
+		t.Errorf("NumCores = %d, want 4", f.NumCores())
+	}
+	ids := f.ThreadIDs()
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 7 {
+		t.Errorf("ThreadIDs = %v", ids)
+	}
+	f.MutThread(7).Misses = 12
+	if got := f.Thread(7).Misses; got != 12 {
+		t.Errorf("Misses = %v, want 12", got)
+	}
+	// Thread returns a copy.
+	snap := f.Thread(7)
+	snap.Misses = 99
+	if f.Thread(7).Misses != 12 {
+		t.Error("Thread returned a live reference")
+	}
+}
+
+func TestFileDuplicatePanics(t *testing.T) {
+	f := NewFile(1)
+	f.AddThread(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddThread did not panic")
+		}
+	}()
+	f.AddThread(1)
+}
+
+func TestFileUnknownThreadPanics(t *testing.T) {
+	f := NewFile(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown thread did not panic")
+		}
+	}()
+	f.MutThread(3)
+}
+
+func TestThreadDelta(t *testing.T) {
+	f := NewFile(2)
+	f.AddThread(0)
+	prev := f.Thread(0)
+	tc := f.MutThread(0)
+	tc.Misses = 50
+	tc.Accesses = 200
+	tc.Instructions = 1000
+	tc.Work = 1
+	tc.Migrations = 2
+	d := f.DiffThread(0, prev, 100)
+	if d.AccessRate() != 0.5 {
+		t.Errorf("AccessRate = %v, want 0.5", d.AccessRate())
+	}
+	if d.MissRatio() != 0.25 {
+		t.Errorf("MissRatio = %v, want 0.25", d.MissRatio())
+	}
+	if d.IPS() != 10 {
+		t.Errorf("IPS = %v, want 10", d.IPS())
+	}
+	if d.Migrations != 2 {
+		t.Errorf("Migrations = %d, want 2", d.Migrations)
+	}
+}
+
+func TestDeltaDegenerateIntervals(t *testing.T) {
+	d := ThreadDelta{Interval: 0, Misses: 10, Accesses: 0, Instructions: 5}
+	if d.AccessRate() != 0 || d.IPS() != 0 {
+		t.Error("zero interval should yield zero rates")
+	}
+	if d.MissRatio() != 0 {
+		t.Error("zero accesses should yield zero miss ratio")
+	}
+}
+
+func TestCoreDelta(t *testing.T) {
+	f := NewFile(2)
+	prev := f.Core(1)
+	f.MutCore(1).ServedMisses = 30
+	d := f.DiffCore(1, prev, 60)
+	if d.Bandwidth() != 0.5 {
+		t.Errorf("Bandwidth = %v, want 0.5", d.Bandwidth())
+	}
+	if (CoreDelta{Interval: 0, ServedMisses: 5}).Bandwidth() != 0 {
+		t.Error("zero interval should yield zero bandwidth")
+	}
+}
+
+func TestDiffThreadIsExactDifference(t *testing.T) {
+	// Differencing two snapshots always recovers exactly what was added
+	// between them, for any update sequence.
+	f := func(add1, add2 []float64) bool {
+		file := NewFile(1)
+		file.AddThread(0)
+		apply := func(xs []float64) float64 {
+			sum := 0.0
+			for _, x := range xs {
+				if x < 0 || x > 1e12 {
+					continue
+				}
+				file.MutThread(0).Misses += x
+				sum += x
+			}
+			return sum
+		}
+		apply(add1)
+		snap := file.Thread(0)
+		want := apply(add2)
+		d := file.DiffThread(0, snap, 1)
+		diff := d.Misses - want
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

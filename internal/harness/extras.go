@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"dike/internal/metrics"
+	"dike/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "extra-baselines", Title: "Extension: rotation and oracle reference schedulers", Run: runExtraBaselines})
+	register(Experiment{ID: "extra-dynamic", Title: "Extension: dynamic thread arrivals", Run: runExtraDynamic})
+}
+
+// runExtraBaselines compares Dike against two references outside the
+// paper's comparison set: trivial round-robin rotation (the "we could
+// trivially provide fairness" strawman — fair but migration-heavy) and
+// an offline-knowledge static oracle (the HASS family): perfectly
+// placed, zero migrations, but blind to phases and unable to rotate
+// surplus demand.
+func runExtraBaselines(optsIn Options) (*Report, error) {
+	opts := optsIn.withDefaults()
+	t := &Table{Title: "Reference schedulers on one workload per class",
+		Header: []string{"workload", "type", "policy", "fairness", "vs cfs", "speedup", "swaps", "migrations"}}
+	for _, wlN := range []int{1, 7, 13} {
+		w := workload.MustTable2(wlN)
+		var base *metrics.RunResult
+		for _, pol := range []string{PolicyCFS, PolicyRotate, PolicyOracle, PolicyDike} {
+			out, err := Run(RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
+			if err != nil {
+				return nil, err
+			}
+			r := out.Result
+			if pol == PolicyCFS {
+				base = r
+			}
+			t.AddRow(w.Name, w.Type().String(), pol,
+				fmt.Sprintf("%.4f", r.Fairness),
+				pct(metrics.FairnessImprovement(r, base)),
+				pct(metrics.Speedup(r, base)-1),
+				fmt.Sprintf("%d", r.Swaps), fmt.Sprintf("%d", r.Migrations))
+		}
+	}
+	return &Report{
+		ID: "extra-baselines", Title: "Reference schedulers beyond the paper's comparison (extension)",
+		Tables: []*Table{t},
+		Notes: []string{
+			"rotation equalizes by brute force at one migration per thread per second",
+			"the oracle uses ground-truth per-application memory intensity (offline profiling), which the paper's threat model excludes",
+			fmt.Sprintf("seed %d, scale %.2f", opts.Seed, opts.Scale),
+		},
+	}, nil
+}
+
+// runExtraDynamic exercises the scenario the paper's §III-F motivates
+// adaptation with — "threads will enter and leave the systems" — by
+// staggering benchmark arrivals and comparing the schedulers' fairness
+// and performance on the resulting time-varying workload.
+func runExtraDynamic(optsIn Options) (*Report, error) {
+	opts := optsIn.withDefaults()
+	// Start from WL12 (UM) and stagger: the compute app and one memory
+	// app arrive mid-run, so the observed workload type drifts.
+	base := workload.MustTable2(12)
+	w := &workload.Workload{Name: "wl12-dynamic"}
+	for i, b := range base.Benchmarks {
+		nb := b
+		switch i {
+		case 1:
+			nb.StartAt = 30000 * opts.Scale // needle joins at ~30s (scaled)
+		case 3:
+			nb.StartAt = 60000 * opts.Scale // lavaMD joins at ~60s
+		}
+		w.Benchmarks = append(w.Benchmarks, nb)
+	}
+
+	t := &Table{Title: "Staggered arrivals (needle at +30s, lavaMD at +60s, scaled)",
+		Header: []string{"policy", "fairness", "makespan", "swaps"}}
+	var cfs *metrics.RunResult
+	for _, pol := range []string{PolicyCFS, PolicyDIO, PolicyDike, PolicyDikeAF, PolicyDikeAP} {
+		out, err := Run(RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
+		if err != nil {
+			return nil, err
+		}
+		r := out.Result
+		if pol == PolicyCFS {
+			cfs = r
+		}
+		t.AddRow(pol, fmt.Sprintf("%.4f", r.Fairness), msec(r.Makespan), fmt.Sprintf("%d", r.Swaps))
+	}
+	rep := &Report{
+		ID: "extra-dynamic", Title: "Dynamic thread arrivals (extension)",
+		Tables: []*Table{t},
+		Notes: []string{
+			"per-thread runtimes are measured from each thread's arrival",
+			fmt.Sprintf("CFS baseline fairness %.4f", cfs.Fairness),
+			fmt.Sprintf("seed %d, scale %.2f", opts.Seed, opts.Scale),
+		},
+	}
+	return rep, nil
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+
+	"dike/internal/metrics"
+	"dike/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "fig6", Title: "Fig 6a/6b + Table III: fairness, performance, swap counts", Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "Fig 7: prediction error per workload", Run: runFig7})
+}
+
+// comparisonRuns executes WL1–WL16 under CFS plus the four schedulers and
+// returns outputs indexed by [workload-1][policy].
+func comparisonRuns(opts Options, policies []string) (map[int]map[string]*RunOutput, error) {
+	var specs []RunSpec
+	for n := 1; n <= workload.NumWorkloads; n++ {
+		w := workload.MustTable2(n)
+		for _, p := range policies {
+			specs = append(specs, RunSpec{Workload: w, Policy: p, Seed: opts.Seed, Scale: opts.Scale})
+		}
+	}
+	outs, err := RunAll(specs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	byWl := make(map[int]map[string]*RunOutput)
+	i := 0
+	for n := 1; n <= workload.NumWorkloads; n++ {
+		byWl[n] = make(map[string]*RunOutput)
+		for _, p := range policies {
+			byWl[n][p] = outs[i]
+			i++
+		}
+	}
+	return byWl, nil
+}
+
+// runFig6 reproduces Fig 6a (fairness improvement over CFS), Fig 6b
+// (workload speedup over CFS) and Table III (swap counts) from one set
+// of comparison runs.
+func runFig6(optsIn Options) (*Report, error) {
+	opts := optsIn.withDefaults()
+	policies := append([]string{PolicyCFS}, ComparisonPolicies...)
+	byWl, err := comparisonRuns(opts, policies)
+	if err != nil {
+		return nil, err
+	}
+
+	fair := &Table{Title: "Fig 6a: fairness improvement over CFS",
+		Header: []string{"workload", "type", "dio", "dike", "dike-af", "dike-ap"}}
+	perf := &Table{Title: "Fig 6b: workload speedup over CFS",
+		Header: []string{"workload", "type", "dio", "dike", "dike-af", "dike-ap"}}
+	swaps := &Table{Title: "Table III: swap counts",
+		Header: []string{"workload", "type", "dio", "dike", "dike-af", "dike-ap"}}
+
+	fImp := map[string][]float64{}
+	sImp := map[string][]float64{}
+	swTot := map[string]int{}
+	for n := 1; n <= workload.NumWorkloads; n++ {
+		base := byWl[n][PolicyCFS].Result
+		frow := []interface{}{base.Workload, base.Type.String()}
+		prow := []interface{}{base.Workload, base.Type.String()}
+		srow := []interface{}{base.Workload, base.Type.String()}
+		for _, p := range ComparisonPolicies {
+			r := byWl[n][p].Result
+			fi := metrics.FairnessImprovement(r, base)
+			sp := metrics.Speedup(r, base) - 1
+			fImp[p] = append(fImp[p], fi)
+			sImp[p] = append(sImp[p], sp)
+			swTot[p] += r.Swaps
+			frow = append(frow, pct(fi))
+			prow = append(prow, pct(sp))
+			srow = append(srow, fmt.Sprintf("%d", r.Swaps))
+		}
+		fair.AddRow(frow...)
+		perf.AddRow(prow...)
+		swaps.AddRow(srow...)
+	}
+	addAgg := func(t *Table, m map[string][]float64) {
+		avg := []interface{}{"average", ""}
+		geo := []interface{}{"geomean", ""}
+		for _, p := range ComparisonPolicies {
+			avg = append(avg, pct(metrics.MeanImprovement(m[p])))
+			geo = append(geo, pct(metrics.GeoMeanImprovement(m[p])))
+		}
+		t.AddRow(avg...)
+		t.AddRow(geo...)
+	}
+	addAgg(fair, fImp)
+	addAgg(perf, sImp)
+	srow := []interface{}{"average", ""}
+	for _, p := range ComparisonPolicies {
+		srow = append(srow, fmt.Sprintf("%.1f", float64(swTot[p])/float64(workload.NumWorkloads)))
+	}
+	swaps.AddRow(srow...)
+
+	return &Report{
+		ID: "fig6", Title: "Fairness and performance vs CFS; swap counts (Fig 6a, Fig 6b, Table III)",
+		Tables: []*Table{fair, perf, swaps},
+		Notes: []string{
+			"paper (geomean): fairness — DIO +47%, Dike +65%, Dike-AF +75%; performance — DIO ~+4%, Dike +8%, Dike-AP +12%",
+			"paper (Table III avg swaps): DIO 2117, Dike 773, Dike-AF 289, Dike-AP 191",
+			fmt.Sprintf("seed %d, scale %.2f", opts.Seed, opts.Scale),
+		},
+	}, nil
+}
+
+// runFig7 reproduces Fig 7: minimum, average and maximum per-thread
+// prediction error of Dike on every workload.
+func runFig7(optsIn Options) (*Report, error) {
+	opts := optsIn.withDefaults()
+	byWl, err := comparisonRuns(opts, []string{PolicyDike})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Dike prediction error (per-thread run averages)",
+		Header: []string{"workload", "type", "min", "avg", "max"}}
+	for n := 1; n <= workload.NumWorkloads; n++ {
+		out := byWl[n][PolicyDike]
+		t.AddRow(out.Result.Workload, out.Result.Type.String(),
+			pct(out.PredMin), pct(out.PredAvg), pct(out.PredMax))
+	}
+	return &Report{
+		ID: "fig7", Title: "Prediction error of Dike (Fig 7)",
+		Tables: []*Table{t},
+		Notes: []string{
+			"paper: averages 0–3%, extremes −9%..+10%; UM workloads predict easily, UC hardest (bursty compute apps)",
+			fmt.Sprintf("seed %d, scale %.2f", opts.Seed, opts.Scale),
+		},
+	}, nil
+}

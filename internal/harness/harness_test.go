@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dike/internal/core"
+	"dike/internal/workload"
+)
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := Run(RunSpec{Policy: PolicyCFS}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Fairness <= 0 || out.Result.Makespan <= 0 {
+		t.Error("missing metrics")
+	}
+	if len(out.History) == 0 || len(out.ErrSeries) == 0 {
+		t.Error("missing Dike bookkeeping")
+	}
+	if out.CompletedAt <= 0 {
+		t.Error("missing completion time")
+	}
+}
+
+func TestRunNonDikeHasNoPredictionData(t *testing.T) {
+	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.History != nil || out.ErrSeries != nil {
+		t.Error("CFS run carries Dike bookkeeping")
+	}
+}
+
+func TestRunDikeConfigOverride(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.QuantaLength = 1000
+	cfg.SwapSize = 2
+	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike,
+		DikeConfig: &cfg, Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range out.History {
+		if rec.Quanta != 1000 || rec.SwapSize != 2 {
+			t.Fatalf("override ignored: %+v", rec)
+		}
+	}
+}
+
+func TestRunAllOrderAndParallel(t *testing.T) {
+	specs := []RunSpec{
+		{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05},
+		{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05},
+		{Workload: workload.MustTable2(2), Policy: PolicyCFS, Seed: 42, Scale: 0.05},
+	}
+	outs, err := RunAll(specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Spec.Policy != PolicyCFS || outs[1].Spec.Policy != PolicyDike {
+		t.Error("results misaligned with specs")
+	}
+	if outs[2].Result.Workload != "wl2" {
+		t.Error("third result is not wl2")
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	spec := RunSpec{Workload: workload.MustTable2(3), Policy: PolicyDike, Seed: 7, Scale: 0.05}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunAll([]RunSpec{spec, spec}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range outs {
+		if b.Result.Makespan != a.Result.Makespan || b.Result.Swaps != a.Result.Swaps {
+			t.Error("parallel run diverged from serial run")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bee"}}
+	tab.AddRow("x", 1.5)
+	tab.AddRow("long-cell", "v")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "1.500") {
+		t.Errorf("render output: %q", out)
+	}
+	var csv strings.Builder
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "a,bee\n") {
+		t.Errorf("csv output: %q", csv.String())
+	}
+	// Quoting.
+	tab2 := &Table{Header: []string{"h"}}
+	tab2.AddRow(`va"l,ue`)
+	csv.Reset()
+	if err := tab2.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"va""l,ue"`) {
+		t.Errorf("csv quoting: %q", csv.String())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{
+		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds",
+		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if _, err := Lookup("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if len(Experiments()) != len(want) {
+		t.Error("Experiments() size mismatch")
+	}
+}
+
+func TestStaticExperiments(t *testing.T) {
+	for _, id := range []string{"tab1", "tab2"} {
+		e, _ := Lookup(id)
+		rep, err := e.Run(Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var sb strings.Builder
+		if err := rep.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if len(sb.String()) < 100 {
+			t.Errorf("%s output suspiciously short", id)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rs, err := Sweep(workload.MustTable2(1), Options{SweepScale: 0.04, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != core.NumConfigurations {
+		t.Fatalf("sweep points = %d", len(rs))
+	}
+	seen := map[[2]int64]bool{}
+	for _, r := range rs {
+		key := [2]int64{int64(r.SwapSize), r.Quanta.Millis()}
+		if seen[key] {
+			t.Fatalf("duplicate config %v", key)
+		}
+		seen[key] = true
+		if r.Fairness <= 0 || r.Perf <= 0 {
+			t.Fatalf("config %v missing metrics", key)
+		}
+	}
+	bf, bp, bc, wc := bestWorst(rs)
+	for _, i := range []int{bf, bp, bc, wc} {
+		if i < 0 || i >= len(rs) {
+			t.Fatal("bestWorst index out of range")
+		}
+	}
+	def := defaultConfigIndex(rs)
+	if rs[def].SwapSize != 8 || rs[def].Quanta != 500 {
+		t.Error("default config index wrong")
+	}
+}
+
+func TestQuickDynamicExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, id := range []string{"fig1", "fig8"} {
+		e, _ := Lookup(id)
+		rep, err := e.Run(Options{Quick: true, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"dike/internal/metrics"
+	"dike/internal/workload"
+)
+
+// TestPaperShape is the repository's headline integration test: it runs
+// all sixteen Table II workloads under CFS, DIO and the three Dike
+// variants and asserts the *shape* of the paper's results —
+//
+//	fairness (geomean):   Dike-AF ≥ Dike > DIO
+//	performance (geomean): Dike-AP ≥ Dike > DIO;  Dike clearly above CFS
+//	swaps (average):       DIO ≫ Dike > Dike-AP
+//
+// Absolute magnitudes are substrate-dependent and recorded in
+// EXPERIMENTS.md, not asserted here.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("80 full simulations")
+	}
+	opts := Options{Seed: 42, Scale: 0.3, Workers: 8}.withDefaults()
+	byWl, err := comparisonRuns(opts, append([]string{PolicyCFS}, ComparisonPolicies...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fImp := map[string][]float64{}
+	sImp := map[string][]float64{}
+	swaps := map[string]int{}
+	for n := 1; n <= workload.NumWorkloads; n++ {
+		base := byWl[n][PolicyCFS].Result
+		for _, p := range ComparisonPolicies {
+			r := byWl[n][p].Result
+			fImp[p] = append(fImp[p], metrics.FairnessImprovement(r, base))
+			sImp[p] = append(sImp[p], metrics.Speedup(r, base)-1)
+			swaps[p] += r.Swaps
+		}
+	}
+	geoF := map[string]float64{}
+	geoS := map[string]float64{}
+	for _, p := range ComparisonPolicies {
+		geoF[p] = metrics.GeoMeanImprovement(fImp[p])
+		geoS[p] = metrics.GeoMeanImprovement(sImp[p])
+		t.Logf("%-8s fairness %+5.1f%%  speedup %+5.1f%%  swaps %d",
+			p, geoF[p]*100, geoS[p]*100, swaps[p]/workload.NumWorkloads)
+	}
+
+	// Fairness ordering.
+	if !(geoF[PolicyDike] > geoF[PolicyDIO]) {
+		t.Errorf("fairness: Dike %+.1f%% not above DIO %+.1f%%", geoF[PolicyDike]*100, geoF[PolicyDIO]*100)
+	}
+	if !(geoF[PolicyDikeAF] >= geoF[PolicyDike]*0.98) {
+		t.Errorf("fairness: Dike-AF %+.1f%% clearly below Dike %+.1f%%", geoF[PolicyDikeAF]*100, geoF[PolicyDike]*100)
+	}
+	// Everyone improves fairness over CFS substantially.
+	for _, p := range ComparisonPolicies {
+		if geoF[p] < 0.05 {
+			t.Errorf("fairness: %s only %+.1f%% over CFS", p, geoF[p]*100)
+		}
+	}
+
+	// Performance ordering.
+	if !(geoS[PolicyDike] > geoS[PolicyDIO]) {
+		t.Errorf("speedup: Dike %+.1f%% not above DIO %+.1f%%", geoS[PolicyDike]*100, geoS[PolicyDIO]*100)
+	}
+	if geoS[PolicyDike] < 0.03 {
+		t.Errorf("speedup: Dike only %+.1f%% over CFS", geoS[PolicyDike]*100)
+	}
+	if !(geoS[PolicyDikeAP] >= geoS[PolicyDike]*0.9) {
+		t.Errorf("speedup: Dike-AP %+.1f%% clearly below Dike %+.1f%%", geoS[PolicyDikeAP]*100, geoS[PolicyDike]*100)
+	}
+
+	// Swap counts: the prediction layer is the whole point — Dike must
+	// migrate several times less than DIO; Dike-AP less than Dike.
+	if swaps[PolicyDike]*3 > swaps[PolicyDIO] {
+		t.Errorf("swaps: Dike %d not well below DIO %d", swaps[PolicyDike], swaps[PolicyDIO])
+	}
+	if swaps[PolicyDikeAP] > swaps[PolicyDike] {
+		t.Errorf("swaps: Dike-AP %d above Dike %d", swaps[PolicyDikeAP], swaps[PolicyDike])
+	}
+}
+
+// TestPredictionErrorShape asserts Fig 7's qualitative claims on a
+// subset: per-thread run-averaged errors are small on UM workloads and
+// larger (but bounded) on UC workloads.
+func TestPredictionErrorShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	get := func(wlN int) *RunOutput {
+		out, err := Run(RunSpec{Workload: workload.MustTable2(wlN), Policy: PolicyDike, Seed: 42, Scale: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	um := get(14) // unbalanced memory: steady access, easy to predict
+	uc := get(9)  // unbalanced compute: bursty, hard
+	for _, o := range []*RunOutput{um, uc} {
+		if o.PredMin > o.PredAvg || o.PredAvg > o.PredMax {
+			t.Fatalf("%s: min/avg/max disordered", o.Result.Workload)
+		}
+	}
+	spread := func(o *RunOutput) float64 { return o.PredMax - o.PredMin }
+	if spread(uc) <= spread(um) {
+		t.Errorf("UC spread %.3f not above UM spread %.3f (%s vs %s)",
+			spread(uc), spread(um), uc.Result.Workload, um.Result.Workload)
+	}
+	// Average error magnitude stays moderate (paper: 0–3%; we allow a
+	// looser bound for the substrate).
+	for _, o := range []*RunOutput{um, uc} {
+		if a := o.PredAvg; a < -0.15 || a > 0.15 {
+			t.Errorf("%s: average prediction error %+.1f%% out of bounds", o.Result.Workload, a*100)
+		}
+	}
+	_ = fmt.Sprintf
+}

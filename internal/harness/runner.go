@@ -1,0 +1,207 @@
+// Package harness runs the paper's experiments: it wires workloads,
+// machines and policies together, executes simulations (in parallel for
+// sweeps), and renders the tables and figure data of the evaluation
+// section (§IV).
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"dike/internal/core"
+	"dike/internal/machine"
+	"dike/internal/metrics"
+	"dike/internal/sched"
+	"dike/internal/sim"
+	"dike/internal/workload"
+)
+
+// Policy names accepted by RunSpec.Policy.
+const (
+	PolicyCFS    = "cfs"
+	PolicyDIO    = "dio"
+	PolicyDike   = "dike"
+	PolicyDikeAF = "dike-af"
+	PolicyDikeAP = "dike-ap"
+	PolicyNull   = "null"
+	// PolicyRotate and PolicyOracle are reference schedulers beyond the
+	// paper's comparison set: trivial round-robin rotation (perfectly
+	// fair, migration-heavy) and an offline-knowledge static placement
+	// (the HASS family from related work).
+	PolicyRotate = "rotate"
+	PolicyOracle = "oracle"
+)
+
+// ComparisonPolicies are the four schedulers of Fig 6 / Table III, in
+// presentation order.
+var ComparisonPolicies = []string{PolicyDIO, PolicyDike, PolicyDikeAF, PolicyDikeAP}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Workload to execute (required).
+	Workload *workload.Workload
+	// Policy is one of the Policy* names (required).
+	Policy string
+	// DikeConfig overrides the Dike configuration; only consulted for
+	// the dike policies. Goal is forced to match the policy name.
+	DikeConfig *core.Config
+	// MachineConfig overrides machine.DefaultConfig.
+	MachineConfig *machine.Config
+	// Seed controls workload noise and the shared initial placement.
+	// Runs compared against each other must use the same seed.
+	Seed uint64
+	// Scale multiplies benchmark work (0 = 1). Sweeps use < 1 to trade
+	// run length for coverage.
+	Scale float64
+	// Step is the simulation tick (0 = 1 ms).
+	Step sim.Time
+	// MaxTime overrides the simulation horizon (0 = engine default).
+	MaxTime sim.Time
+	// TraceEvery, if positive, samples a RunTrace at that period (ms).
+	TraceEvery sim.Time
+}
+
+// RunOutput bundles a finished run's metrics and, for Dike runs, the
+// prediction bookkeeping the figure harnesses need.
+type RunOutput struct {
+	Spec   RunSpec
+	Result *metrics.RunResult
+	// PredMin/PredAvg/PredMax are Fig 7's per-thread averaged prediction
+	// error extremes; zero for non-Dike policies.
+	PredMin, PredAvg, PredMax float64
+	// ErrSeries is Fig 8's per-quantum mean error series (Dike only).
+	ErrSeries []core.ErrPoint
+	// History is Dike's per-quantum decision log (Dike only).
+	History []core.QuantumRecord
+	// CompletedAt is the simulated completion time.
+	CompletedAt sim.Time
+	// Trace holds the sampled time series when RunSpec.TraceEvery > 0.
+	Trace *RunTrace
+}
+
+// Run executes one simulation to completion.
+func Run(spec RunSpec) (*RunOutput, error) {
+	if spec.Workload == nil {
+		return nil, fmt.Errorf("harness: spec has no workload")
+	}
+	mcfg := machine.DefaultConfig()
+	if spec.MachineConfig != nil {
+		mcfg = *spec.MachineConfig
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Workload.Build(m, workload.BuildOptions{Seed: spec.Seed, Scale: spec.Scale})
+	if err != nil {
+		return nil, err
+	}
+
+	var policy sched.Policy
+	var dk *core.Dike
+	switch spec.Policy {
+	case PolicyCFS:
+		policy = sched.NewCFS(m, spec.Seed)
+	case PolicyNull:
+		policy = sched.NewNull(m, spec.Seed)
+	case PolicyDIO:
+		policy = sched.NewDIO(m, spec.Seed)
+	case PolicyRotate:
+		policy = sched.NewRotate(m, spec.Seed)
+	case PolicyOracle:
+		intensity := make(map[machine.ThreadID]float64)
+		for _, ti := range inst.Threads {
+			intensity[ti.ID] = spec.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
+		}
+		policy, err = sched.NewStatic(m, sched.OracleAssignment(m, intensity))
+		if err != nil {
+			return nil, err
+		}
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+		cfg := core.DefaultConfig()
+		if spec.DikeConfig != nil {
+			cfg = *spec.DikeConfig
+		}
+		switch spec.Policy {
+		case PolicyDike:
+			cfg.Goal = core.AdaptNone
+		case PolicyDikeAF:
+			cfg.Goal = core.AdaptFairness
+		case PolicyDikeAP:
+			cfg.Goal = core.AdaptPerformance
+		}
+		cfg.PlacementSeed = spec.Seed
+		dk, err = core.New(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		policy = dk
+	default:
+		return nil, fmt.Errorf("harness: unknown policy %q", spec.Policy)
+	}
+
+	ecfg := sim.DefaultConfig()
+	if spec.Step > 0 {
+		ecfg.Step = spec.Step
+	}
+	if spec.MaxTime > 0 {
+		ecfg.MaxTime = spec.MaxTime
+	}
+	engine, err := sim.NewEngine(m, policy, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	var rt *RunTrace
+	if spec.TraceEvery > 0 {
+		rt = attachTrace(engine, m, inst, spec.TraceEvery)
+	}
+	done, err := engine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", spec.Policy, spec.Workload.Name, err)
+	}
+
+	result, err := metrics.Collect(m, inst, spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt}
+	if dk != nil {
+		out.PredMin, out.PredAvg, out.PredMax = dk.PredictionStats().MinAvgMax()
+		out.ErrSeries = dk.ErrorSeries()
+		out.History = dk.History()
+	}
+	return out, nil
+}
+
+// RunAll executes specs concurrently on up to workers goroutines (each
+// simulation is single-threaded and independent). Results align with
+// specs by index; the first error aborts nothing but is returned.
+func RunAll(specs []RunSpec, workers int) ([]*RunOutput, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]*RunOutput, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i], errs[i] = Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return outs, err
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"io"
+
+	"dike/internal/machine"
+	"dike/internal/sim"
+	"dike/internal/stats"
+	"dike/internal/trace"
+	"dike/internal/workload"
+)
+
+// RunTrace is the optional per-run time-series capture: system-level
+// observables sampled at a fixed period, exportable as CSV for plotting.
+type RunTrace struct {
+	// Utilization is the memory controller utilisation (0..MaxUtil).
+	Utilization *trace.Series
+	// Alive is the number of unfinished, arrived threads.
+	Alive *trace.Series
+	// Swaps is the cumulative swap count.
+	Swaps *trace.Series
+	// Dispersion is the mean over main benchmarks of the coefficient of
+	// variation of their threads' progress fractions — a live proxy for
+	// the final Eqn 4 fairness (lower = fairer).
+	Dispersion *trace.Series
+}
+
+// newRunTrace allocates the series set.
+func newRunTrace() *RunTrace {
+	return &RunTrace{
+		Utilization: trace.NewSeries("mem_util"),
+		Alive:       trace.NewSeries("alive_threads"),
+		Swaps:       trace.NewSeries("cumulative_swaps"),
+		Dispersion:  trace.NewSeries("progress_dispersion"),
+	}
+}
+
+// sample records one point at time now.
+func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Instance) {
+	t := float64(now.Millis())
+	rt.Utilization.Add(t, m.Utilization())
+	rt.Alive.Add(t, float64(len(m.Alive())))
+	rt.Swaps.Add(t, float64(m.SwapCount()))
+
+	cvSum, n := 0.0, 0
+	for bi, b := range inst.Workload.Benchmarks {
+		if b.Extra {
+			continue
+		}
+		var fracs []float64
+		for _, id := range inst.ThreadsOf(bi) {
+			fracs = append(fracs, m.Progress(id))
+		}
+		cvSum += stats.CV(fracs)
+		n++
+	}
+	if n > 0 {
+		rt.Dispersion.Add(t, cvSum/float64(n))
+	}
+}
+
+// WriteCSV exports all trace series in wide form.
+func (rt *RunTrace) WriteCSV(w io.Writer) error {
+	return trace.WriteWideCSV(w, rt.Utilization, rt.Alive, rt.Swaps, rt.Dispersion)
+}
+
+// attachTrace hooks a RunTrace onto the engine at the given sample
+// period.
+func attachTrace(engine *sim.Engine, m *machine.Machine, inst *workload.Instance, every sim.Time) *RunTrace {
+	rt := newRunTrace()
+	var last sim.Time = -every
+	engine.OnTick(func(now sim.Time) {
+		if now-last >= every {
+			rt.sample(now, m, inst)
+			last = now
+		}
+	})
+	return rt
+}

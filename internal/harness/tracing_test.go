@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dike/internal/workload"
+)
+
+func TestRunTraceCapture(t *testing.T) {
+	out, err := Run(RunSpec{
+		Workload: workload.MustTable2(1), Policy: PolicyDike,
+		Seed: 42, Scale: 0.05, TraceEvery: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := out.Trace
+	if rt == nil {
+		t.Fatal("no trace captured")
+	}
+	if rt.Utilization.Len() == 0 || rt.Alive.Len() == 0 || rt.Swaps.Len() == 0 || rt.Dispersion.Len() == 0 {
+		t.Fatal("empty trace series")
+	}
+	// Sampling respects the period: successive samples >= 200ms apart.
+	for i := 1; i < rt.Utilization.Len(); i++ {
+		t0, _ := rt.Utilization.At(i - 1)
+		t1, _ := rt.Utilization.At(i)
+		if t1-t0 < 200 {
+			t.Fatalf("samples %d,%d only %vms apart", i-1, i, t1-t0)
+		}
+	}
+	// Utilization stays within the controller cap.
+	for i := 0; i < rt.Utilization.Len(); i++ {
+		if _, v := rt.Utilization.At(i); v < 0 || v > 0.99 {
+			t.Fatalf("utilization sample %v out of range", v)
+		}
+	}
+	// Alive decreases monotonically ... not strictly (arrivals), but for
+	// this workload it must start at 40 and end low.
+	if _, first := rt.Alive.At(0); first != 40 {
+		t.Errorf("first alive sample = %v, want 40", first)
+	}
+	// Cumulative swaps are non-decreasing.
+	prev := -1.0
+	for i := 0; i < rt.Swaps.Len(); i++ {
+		_, v := rt.Swaps.At(i)
+		if v < prev {
+			t.Fatal("cumulative swaps decreased")
+		}
+		prev = v
+	}
+	// CSV export round-trips.
+	var sb strings.Builder
+	if err := rt.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "time_ms,mem_util,alive_threads,cumulative_swaps,progress_dispersion") {
+		t.Errorf("csv header: %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != nil {
+		t.Error("trace captured without TraceEvery")
+	}
+}
+
+func TestExtraExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, id := range []string{"extra-baselines", "extra-dynamic"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(Options{Quick: true, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestDynamicArrivalRun(t *testing.T) {
+	// A workload with a staggered benchmark completes and reports sane
+	// per-arrival runtimes.
+	base := workload.MustTable2(1)
+	w := &workload.Workload{Name: "stagger"}
+	for i, b := range base.Benchmarks {
+		nb := b
+		if i == 2 {
+			nb.StartAt = 5000
+		}
+		w.Benchmarks = append(w.Benchmarks, nb)
+	}
+	out, err := Run(RunSpec{Workload: w, Policy: PolicyDike, Seed: 42, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Fairness <= 0 {
+		t.Error("no fairness metric")
+	}
+	// The staggered benchmark's runtime is arrival-relative, so it must
+	// be comparable to (not a multiple of) its siblings'.
+	late := out.Result.Benches[2]
+	if late.Time <= 0 {
+		t.Error("late benchmark has no runtime")
+	}
+	if late.Time > out.Result.Makespan {
+		t.Error("arrival-relative time exceeds makespan")
+	}
+}

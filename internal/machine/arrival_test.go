@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"dike/internal/sim"
+)
+
+func TestArrivalBasics(t *testing.T) {
+	m := testMachine(t)
+	place(t, m, 0, 0, 100, Demand{}, 0)
+	place(t, m, 1, 0, 100, Demand{}, 2)
+	if err := m.SetStart(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStart(9, 1); err == nil {
+		t.Error("SetStart on unknown thread accepted")
+	}
+	if err := m.SetStart(1, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+	st, err := m.StartOf(1)
+	if err != nil || st != 500 {
+		t.Errorf("StartOf = %v, %v", st, err)
+	}
+
+	// Before arrival: thread 1 is pending, not alive, makes no progress.
+	if got := m.Alive(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Alive = %v, want [0]", got)
+	}
+	if got := m.Pending(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Pending = %v, want [1]", got)
+	}
+	for now := sim.Time(0); now < 100; now++ {
+		m.Step(now, 1)
+	}
+	if w := m.Counters().Thread(1).Work; w != 0 {
+		t.Errorf("pending thread progressed: %v", w)
+	}
+	// Thread 0 finished long before thread 1 arrives; Done must be false.
+	if m.Done() {
+		t.Fatal("machine done while a thread is pending")
+	}
+	// After arrival it runs and finishes.
+	for now := sim.Time(100); now < 800 && !m.Done(); now++ {
+		m.Step(now, 1)
+	}
+	if !m.Done() {
+		t.Fatal("late thread did not finish")
+	}
+	ft, _ := m.Finished(1)
+	if ft <= 500 {
+		t.Errorf("late thread finished at %v, before its arrival", ft)
+	}
+}
+
+func TestArrivalDoesNotHoldBarrier(t *testing.T) {
+	m := testMachine(t)
+	place(t, m, 0, 0, 1000, Demand{}, m.Topology().FastCores()[0])
+	place(t, m, 1, 0, 1000, Demand{}, m.Topology().FastCores()[2])
+	if err := m.AddBarrierGroup(50, []ThreadID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStart(1, 10000); err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now < 200; now++ {
+		m.Step(now, 1)
+	}
+	// Thread 0 must not be stuck at the first barrier waiting for the
+	// not-yet-arrived sibling.
+	if w := m.Counters().Thread(0).Work; w < 100 {
+		t.Errorf("thread 0 blocked by pending barrier member: work=%v", w)
+	}
+}
+
+func TestArrivalOccupancy(t *testing.T) {
+	// A pending thread's preset core must not count as busy for SMT.
+	m := testMachine(t)
+	fast := m.Topology().FastCores()
+	sib := m.Topology().Siblings(fast[0])
+	place(t, m, 0, 0, 1000, Demand{}, sib[0])
+	place(t, m, 1, 0, 1000, Demand{}, sib[1])
+	if err := m.SetStart(1, 100000); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(0, 100)
+	// Thread 0 should run at full (un-shared) speed: 2.33 * 100.
+	if w := m.Counters().Thread(0).Work; w < 230 {
+		t.Errorf("SMT penalty applied for pending sibling: work=%v", w)
+	}
+	if got := m.ThreadsOn(sib[1]); len(got) != 0 {
+		t.Errorf("pending thread listed on core: %v", got)
+	}
+}

@@ -1,0 +1,634 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dike/internal/counters"
+	"dike/internal/sim"
+)
+
+// Config parameterises a Machine. DefaultConfig reproduces the paper's
+// platform (Table I) in model units.
+type Config struct {
+	Topology TopologySpec
+
+	// SMTPenalty is the throughput factor each SMT lane gets when its
+	// sibling lane is also busy (e.g. 0.65: two busy hyperthreads each
+	// run at 65% of the physical core's full rate).
+	SMTPenalty float64
+
+	// MemCapacity is the memory controller service capacity, misses/ms.
+	MemCapacity float64
+	// MemBaseLatency is the uncontended effective stall per miss, ms.
+	MemBaseLatency float64
+	// MemMaxUtil caps controller utilisation (keeps latency finite).
+	MemMaxUtil float64
+	// Overlap is the fraction of miss latency hidden by memory-level
+	// parallelism, in [0, 1).
+	Overlap float64
+	// LLCHitLatency is the stall per LLC hit, ms.
+	LLCHitLatency float64
+
+	// MigrationStall is how long a migrated thread is descheduled while
+	// its context moves (the paper's swapOH).
+	MigrationStall sim.Time
+	// ColdMissFactor multiplies a thread's miss ratio right after a
+	// cross-socket migration; it decays back to 1. Cross-socket moves on
+	// the paper's two-socket platform strand the thread's pages on the
+	// remote NUMA node, so the penalty is large and long-lived (until
+	// page migration catches up).
+	ColdMissFactor float64
+	// ColdHalfLife is the decay half-life of the cross-socket penalty, ms.
+	ColdHalfLife float64
+	// LocalColdFactor/LocalColdHalfLife are the equivalents for
+	// migrations within a socket, where the shared LLC stays warm: a
+	// small, short penalty.
+	LocalColdFactor   float64
+	LocalColdHalfLife float64
+	// RemoteLatencyFactor multiplies a thread's per-miss stall right
+	// after a cross-socket migration: until the OS migrates its pages,
+	// every miss is served from the remote NUMA node. It decays toward 1
+	// with ColdHalfLife.
+	RemoteLatencyFactor float64
+}
+
+// DefaultConfig returns the Table I machine: 10 fast + 10 slow physical
+// cores, 2-way SMT (40 logical cores), core speeds in the paper's
+// 2.33/1.21 frequency ratio, one shared memory controller.
+func DefaultConfig() Config {
+	return Config{
+		Topology: TopologySpec{
+			FastPhysical: 10,
+			SlowPhysical: 10,
+			SMTWays:      2,
+			FastSpeed:    2.33,
+			SlowSpeed:    1.21,
+		},
+		SMTPenalty:          0.78,
+		MemCapacity:         80,
+		MemBaseLatency:      0.008,
+		MemMaxUtil:          0.96,
+		Overlap:             0.30,
+		LLCHitLatency:       0.0005,
+		MigrationStall:      8,
+		ColdMissFactor:      2.2,
+		ColdHalfLife:        800,
+		LocalColdFactor:     1.3,
+		LocalColdHalfLife:   100,
+		RemoteLatencyFactor: 1.7,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.SMTPenalty <= 0 || c.SMTPenalty > 1:
+		return errors.New("machine: SMTPenalty must be in (0,1]")
+	case c.MemCapacity <= 0:
+		return errors.New("machine: MemCapacity must be positive")
+	case c.MemBaseLatency < 0:
+		return errors.New("machine: negative MemBaseLatency")
+	case c.MemMaxUtil <= 0 || c.MemMaxUtil >= 1:
+		return errors.New("machine: MemMaxUtil must be in (0,1)")
+	case c.Overlap < 0 || c.Overlap >= 1:
+		return errors.New("machine: Overlap must be in [0,1)")
+	case c.LLCHitLatency < 0:
+		return errors.New("machine: negative LLCHitLatency")
+	case c.MigrationStall < 0:
+		return errors.New("machine: negative MigrationStall")
+	case c.ColdMissFactor < 1:
+		return errors.New("machine: ColdMissFactor must be >= 1")
+	case c.ColdHalfLife <= 0:
+		return errors.New("machine: ColdHalfLife must be positive")
+	case c.LocalColdFactor < 1:
+		return errors.New("machine: LocalColdFactor must be >= 1")
+	case c.LocalColdHalfLife <= 0:
+		return errors.New("machine: LocalColdHalfLife must be positive")
+	case c.RemoteLatencyFactor < 1:
+		return errors.New("machine: RemoteLatencyFactor must be >= 1")
+	}
+	return nil
+}
+
+// thread is the machine-side execution state of one thread.
+type thread struct {
+	id       ThreadID
+	bench    int
+	prog     Program
+	core     CoreID
+	placed   bool
+	work     float64
+	finished bool
+	finishAt sim.Time
+	// startAt is when the thread enters the system; it is invisible to
+	// scheduling and makes no progress before then.
+	startAt sim.Time
+	// stallUntil: thread is descheduled (migration in flight) until then.
+	stallUntil sim.Time
+	// migratedAt anchors the cold-cache decay; negative = never migrated.
+	// coldBoost/coldHalf are the penalty magnitude (factor-1) and decay
+	// half-life set by the last migration's locality.
+	migratedAt sim.Time
+	coldBoost  float64
+	coldHalf   float64
+	numaBoost  float64
+	barrier    *barrierGroup
+}
+
+// barrierGroup couples threads that synchronise every `interval` work
+// units (the KMEANS model: "excessive inter-thread communication"). No
+// member may run more than one barrier segment ahead of the slowest
+// unfinished member.
+type barrierGroup struct {
+	interval float64
+	members  []*thread
+}
+
+// limit returns the maximum work t may reach given the group's state.
+// Members that have not arrived yet do not hold the barrier (they join
+// at the group's current segment when they start).
+func (g *barrierGroup) limit(t *thread, now sim.Time) float64 {
+	minSeg := math.MaxFloat64
+	for _, m := range g.members {
+		if m.finished || m.startAt > now {
+			continue
+		}
+		seg := math.Floor(m.work / g.interval)
+		if seg < minSeg {
+			minSeg = seg
+		}
+	}
+	if minSeg == math.MaxFloat64 {
+		return t.prog.TotalWork()
+	}
+	return (minSeg + 1) * g.interval
+}
+
+// Machine is the simulated heterogeneous multicore. It implements
+// sim.World. It is not safe for concurrent use; run one Machine per
+// goroutine.
+type Machine struct {
+	cfg    Config
+	topo   *Topology
+	ctrl   MemController
+	solver contentionSolver
+	file   *counters.File
+
+	threads map[ThreadID]*thread
+	order   []ThreadID // deterministic iteration order
+	groups  []*barrierGroup
+
+	swaps      int
+	migrations int
+	lastUtil   float64  // controller utilisation at the end of the last step
+	lastNow    sim.Time // time at the end of the last Step (for arrival checks)
+
+	// scratch buffers reused across Step calls to avoid per-tick allocs.
+	scratchT     []*thread
+	scratchRates []float64
+	scratchDem   []Demand
+	scratchLat   []float64
+	scratchProg  []float64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := BuildTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := MemController{Capacity: cfg.MemCapacity, BaseLatency: cfg.MemBaseLatency, MaxUtil: cfg.MemMaxUtil}
+	m := &Machine{
+		cfg:     cfg,
+		topo:    topo,
+		ctrl:    ctrl,
+		file:    counters.NewFile(topo.NumCores()),
+		threads: make(map[ThreadID]*thread),
+	}
+	m.solver = contentionSolver{ctrl: &m.ctrl, overlap: cfg.Overlap, hitLat: cfg.LLCHitLatency}
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics
+// on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's core topology.
+func (m *Machine) Topology() *Topology { return m.topo }
+
+// Counters returns the machine's performance-counter file.
+func (m *Machine) Counters() *counters.File { return m.file }
+
+// AddThread registers a thread with its program and owning benchmark id.
+// Threads must be added before the simulation starts and placed with
+// Place before the first Step.
+func (m *Machine) AddThread(id ThreadID, bench int, prog Program) error {
+	if _, ok := m.threads[id]; ok {
+		return fmt.Errorf("machine: duplicate thread %d", id)
+	}
+	if prog == nil {
+		return fmt.Errorf("machine: thread %d has nil program", id)
+	}
+	if prog.TotalWork() <= 0 {
+		return fmt.Errorf("machine: thread %d has non-positive work", id)
+	}
+	m.threads[id] = &thread{id: id, bench: bench, prog: prog, migratedAt: -1}
+	m.order = append(m.order, id)
+	m.file.AddThread(int(id))
+	return nil
+}
+
+// SetStart delays a thread's arrival: before `at` it is not alive, holds
+// no core and makes no progress. Models the paper's dynamic workloads
+// where "threads will enter and leave the systems" (§III-F).
+func (m *Machine) SetStart(id ThreadID, at sim.Time) error {
+	t, ok := m.threads[id]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("machine: negative start time for thread %d", id)
+	}
+	t.startAt = at
+	return nil
+}
+
+// StartOf returns a thread's arrival time (0 = present from the start).
+func (m *Machine) StartOf(id ThreadID) (sim.Time, error) {
+	t, ok := m.threads[id]
+	if !ok {
+		return 0, fmt.Errorf("machine: unknown thread %d", id)
+	}
+	return t.startAt, nil
+}
+
+// AddBarrierGroup couples the given threads with a barrier every interval
+// work units. All members must already be registered.
+func (m *Machine) AddBarrierGroup(interval float64, members []ThreadID) error {
+	if interval <= 0 {
+		return errors.New("machine: barrier interval must be positive")
+	}
+	if len(members) < 2 {
+		return errors.New("machine: barrier group needs at least two members")
+	}
+	g := &barrierGroup{interval: interval}
+	for _, id := range members {
+		t, ok := m.threads[id]
+		if !ok {
+			return fmt.Errorf("machine: barrier member %d not registered", id)
+		}
+		if t.barrier != nil {
+			return fmt.Errorf("machine: thread %d already in a barrier group", id)
+		}
+		g.members = append(g.members, t)
+	}
+	for _, t := range g.members {
+		t.barrier = g
+	}
+	m.groups = append(m.groups, g)
+	return nil
+}
+
+// Place sets a thread's initial core without any migration penalty.
+func (m *Machine) Place(id ThreadID, core CoreID) error {
+	t, ok := m.threads[id]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", id)
+	}
+	if int(core) < 0 || int(core) >= m.topo.NumCores() {
+		return fmt.Errorf("machine: core %d out of range", core)
+	}
+	t.core = core
+	t.placed = true
+	return nil
+}
+
+// Migrate moves a thread to a new core, charging the migration stall and
+// cold-cache penalty. Migrating a finished thread is a no-op.
+func (m *Machine) Migrate(id ThreadID, core CoreID, now sim.Time) error {
+	t, ok := m.threads[id]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", id)
+	}
+	if int(core) < 0 || int(core) >= m.topo.NumCores() {
+		return fmt.Errorf("machine: core %d out of range", core)
+	}
+	if t.finished {
+		return nil
+	}
+	if t.core == core {
+		return nil
+	}
+	// Cross-socket moves (between the fast and slow pools) strand the
+	// thread's pages on the remote NUMA node: a large, slowly-decaying
+	// miss penalty. Same-socket moves keep the shared LLC warm.
+	if m.topo.Core(t.core).Kind != m.topo.Core(core).Kind {
+		t.coldBoost = m.cfg.ColdMissFactor - 1
+		t.coldHalf = m.cfg.ColdHalfLife
+		t.numaBoost = m.cfg.RemoteLatencyFactor - 1
+	} else {
+		t.coldBoost = m.cfg.LocalColdFactor - 1
+		t.coldHalf = m.cfg.LocalColdHalfLife
+		t.numaBoost = 0
+	}
+	t.core = core
+	t.stallUntil = now + m.cfg.MigrationStall
+	t.migratedAt = now
+	m.file.MutThread(int(id)).Migrations++
+	m.migrations++
+	return nil
+}
+
+// Swap exchanges the cores of two threads (the paper's swap operation: a
+// pair of migrations, no third core involved). It counts as one swap.
+func (m *Machine) Swap(a, b ThreadID, now sim.Time) error {
+	ta, ok := m.threads[a]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", a)
+	}
+	tb, ok := m.threads[b]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", b)
+	}
+	if a == b || ta.finished || tb.finished {
+		return nil
+	}
+	ca, cb := ta.core, tb.core
+	if err := m.Migrate(a, cb, now); err != nil {
+		return err
+	}
+	if err := m.Migrate(b, ca, now); err != nil {
+		return err
+	}
+	m.swaps++
+	return nil
+}
+
+// SwapCount returns the number of Swap operations performed so far.
+func (m *Machine) SwapCount() int { return m.swaps }
+
+// MigrationCount returns the number of individual thread migrations.
+func (m *Machine) MigrationCount() int { return m.migrations }
+
+// Utilization returns the memory controller utilisation measured during
+// the most recent Step.
+func (m *Machine) Utilization() float64 { return m.lastUtil }
+
+// CoreOf returns the core a thread is currently bound to.
+func (m *Machine) CoreOf(id ThreadID) (CoreID, error) {
+	t, ok := m.threads[id]
+	if !ok {
+		return 0, fmt.Errorf("machine: unknown thread %d", id)
+	}
+	return t.core, nil
+}
+
+// BenchOf returns the benchmark id a thread belongs to.
+func (m *Machine) BenchOf(id ThreadID) (int, error) {
+	t, ok := m.threads[id]
+	if !ok {
+		return 0, fmt.Errorf("machine: unknown thread %d", id)
+	}
+	return t.bench, nil
+}
+
+// Threads returns all thread ids in registration order.
+func (m *Machine) Threads() []ThreadID {
+	out := make([]ThreadID, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Alive returns the ids of unfinished threads that have arrived, in
+// registration order.
+func (m *Machine) Alive() []ThreadID {
+	var out []ThreadID
+	for _, id := range m.order {
+		t := m.threads[id]
+		if !t.finished && t.startAt <= m.lastNow {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Pending returns the ids of threads that have not arrived yet.
+func (m *Machine) Pending() []ThreadID {
+	var out []ThreadID
+	for _, id := range m.order {
+		if t := m.threads[id]; !t.finished && t.startAt > m.lastNow {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Finished reports whether the thread has completed, and its finish time.
+func (m *Machine) Finished(id ThreadID) (sim.Time, bool) {
+	t, ok := m.threads[id]
+	if !ok || !t.finished {
+		return 0, false
+	}
+	return t.finishAt, true
+}
+
+// Progress returns the fraction of its total work a thread has completed.
+func (m *Machine) Progress(id ThreadID) float64 {
+	t, ok := m.threads[id]
+	if !ok {
+		return 0
+	}
+	return t.work / t.prog.TotalWork()
+}
+
+// Done implements sim.World: true once every thread has finished.
+func (m *Machine) Done() bool {
+	for _, id := range m.order {
+		if !m.threads[id].finished {
+			return false
+		}
+	}
+	return true
+}
+
+// coldFactor returns the current cold-cache miss multiplier for t.
+func (m *Machine) coldFactor(t *thread, now sim.Time) float64 {
+	if t.migratedAt < 0 || t.coldBoost <= 0 {
+		return 1
+	}
+	age := float64(now - t.migratedAt)
+	if age < 0 {
+		age = 0
+	}
+	return 1 + t.coldBoost*math.Exp(-age*math.Ln2/t.coldHalf)
+}
+
+// numaFactor returns the current per-miss latency multiplier for t
+// (remote NUMA accesses after a cross-socket migration).
+func (m *Machine) numaFactor(t *thread, now sim.Time) float64 {
+	if t.migratedAt < 0 || t.numaBoost <= 0 {
+		return 1
+	}
+	age := float64(now - t.migratedAt)
+	if age < 0 {
+		age = 0
+	}
+	return 1 + t.numaBoost*math.Exp(-age*math.Ln2/t.coldHalf)
+}
+
+// Step implements sim.World. It advances all threads by dt ms, solving
+// the contention fixed point once for the tick.
+func (m *Machine) Step(now sim.Time, dt sim.Time) {
+	if dt <= 0 {
+		return
+	}
+	// Occupancy: unfinished threads per logical core, and busy lanes per
+	// physical core (for the SMT penalty).
+	m.lastNow = now + dt
+	laneCount := make(map[CoreID]int, len(m.order))
+	physBusy := make(map[int]int)
+	for _, id := range m.order {
+		t := m.threads[id]
+		if t.finished || t.startAt > now {
+			continue
+		}
+		if !t.placed {
+			panic(fmt.Sprintf("machine: thread %d stepped before placement", id))
+		}
+		if laneCount[t.core] == 0 {
+			physBusy[m.topo.Core(t.core).Physical]++
+		}
+		laneCount[t.core]++
+	}
+
+	// Gather runnable threads and their attainable rates and demands.
+	active := m.scratchT[:0]
+	rates := m.scratchRates[:0]
+	dems := m.scratchDem[:0]
+	lats := m.scratchLat[:0]
+	for _, id := range m.order {
+		t := m.threads[id]
+		if t.finished || t.startAt > now {
+			continue
+		}
+		if t.stallUntil > now {
+			m.file.MutThread(int(id)).StallTime += float64(dt)
+			continue
+		}
+		core := m.topo.Core(t.core)
+		rate := core.Speed
+		if physBusy[core.Physical] > 1 {
+			rate *= m.cfg.SMTPenalty
+		}
+		if n := laneCount[t.core]; n > 1 {
+			rate /= float64(n) // lane time-sharing
+		}
+		dem := t.prog.DemandAt(t.work, now)
+		if cf := m.coldFactor(t, now); cf > 1 {
+			dem.MissRatio = math.Min(dem.MissRatio*cf, 1)
+		}
+		active = append(active, t)
+		rates = append(rates, rate)
+		dems = append(dems, dem)
+		lats = append(lats, m.numaFactor(t, now))
+	}
+	m.scratchT, m.scratchRates, m.scratchDem, m.scratchLat = active, rates, dems, lats
+
+	if len(active) == 0 {
+		return
+	}
+	if cap(m.scratchProg) < len(active) {
+		m.scratchProg = make([]float64, len(active))
+	}
+	prog := m.scratchProg[:len(active)]
+	offered := m.solver.solve(rates, dems, lats, prog)
+	m.lastUtil = m.ctrl.Utilization(offered)
+
+	// Advance work, respecting per-thread remaining work and barrier
+	// limits captured at the start of the tick.
+	fdt := float64(dt)
+	for i, t := range active {
+		dw := prog[i] * fdt
+		limit := t.prog.TotalWork() - t.work
+		if t.barrier != nil {
+			if bl := t.barrier.limit(t, now) - t.work; bl < limit {
+				limit = bl
+			}
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		used := fdt
+		if dw > limit {
+			// Thread hits its work or barrier limit mid-tick; charge
+			// counters only for the productive fraction.
+			if dw > 0 {
+				used = fdt * limit / dw
+			}
+			dw = limit
+		}
+		t.work += dw
+		tc := m.file.MutThread(int(t.id))
+		tc.Work += dw
+		tc.Instructions += dw * 1000
+		tc.Accesses += dw * dems[i].AccessesPerWork
+		misses := dw * dems[i].MissesPerWork()
+		tc.Misses += misses
+		cc := m.file.MutCore(int(t.core))
+		cc.ServedMisses += misses
+		cc.BusyTime += used
+		if t.work >= t.prog.TotalWork()-1e-9 {
+			t.finished = true
+			// Interpolate the finish instant inside the tick.
+			t.finishAt = now + sim.Time(math.Ceil(used))
+			if t.finishAt < now+1 {
+				t.finishAt = now + 1
+			}
+			if t.finishAt > now+dt {
+				t.finishAt = now + dt
+			}
+		}
+	}
+}
+
+// PlacementSnapshot returns the current thread→core map, sorted by thread
+// id. Used by traces and tests.
+func (m *Machine) PlacementSnapshot() map[ThreadID]CoreID {
+	out := make(map[ThreadID]CoreID, len(m.order))
+	for _, id := range m.order {
+		out[id] = m.threads[id].core
+	}
+	return out
+}
+
+// ThreadsOn returns the unfinished threads currently bound to core c, in
+// ascending thread-id order.
+func (m *Machine) ThreadsOn(c CoreID) []ThreadID {
+	var out []ThreadID
+	for _, id := range m.order {
+		t := m.threads[id]
+		if !t.finished && t.startAt <= m.lastNow && t.core == c {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,444 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"dike/internal/sim"
+)
+
+// testMachine returns a default machine for tests.
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// place registers a thread with constant demand and places it.
+func place(t *testing.T, m *Machine, id ThreadID, bench int, work float64, dem Demand, core CoreID) {
+	t.Helper()
+	if err := m.AddThread(id, bench, ConstProgram{Work: work, Demand: dem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(id, core); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// run steps the machine until done or the deadline.
+func run(t *testing.T, m *Machine, deadline sim.Time) sim.Time {
+	t.Helper()
+	now := sim.Time(0)
+	for !m.Done() {
+		if now >= deadline {
+			t.Fatalf("machine did not finish by %v", deadline)
+		}
+		m.Step(now, 1)
+		now++
+	}
+	return now
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SMTPenalty = 0 },
+		func(c *Config) { c.SMTPenalty = 1.5 },
+		func(c *Config) { c.MemCapacity = 0 },
+		func(c *Config) { c.MemBaseLatency = -1 },
+		func(c *Config) { c.MemMaxUtil = 1 },
+		func(c *Config) { c.Overlap = 1 },
+		func(c *Config) { c.LLCHitLatency = -1 },
+		func(c *Config) { c.MigrationStall = -1 },
+		func(c *Config) { c.ColdMissFactor = 0.5 },
+		func(c *Config) { c.ColdHalfLife = 0 },
+		func(c *Config) { c.LocalColdFactor = 0.9 },
+		func(c *Config) { c.LocalColdHalfLife = 0 },
+		func(c *Config) { c.RemoteLatencyFactor = 0.5 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSingleThreadRuntime(t *testing.T) {
+	m := testMachine(t)
+	// Pure compute thread on a fast core: ~2.33 work/ms, 2330 work ->
+	// about 1000 ms (slightly more due to hit latency).
+	place(t, m, 0, 0, 2330, Demand{AccessesPerWork: 0, MissRatio: 0}, m.Topology().FastCores()[0])
+	done := run(t, m, 5000)
+	if done < 990 || done > 1100 {
+		t.Errorf("runtime = %v, want ~1000", done)
+	}
+}
+
+func TestFastVsSlowCoreRatio(t *testing.T) {
+	run1 := func(core CoreID) sim.Time {
+		m := testMachine(t)
+		place(t, m, 0, 0, 1000, Demand{AccessesPerWork: 0.5, MissRatio: 0.02}, core)
+		return run(t, m, 20000)
+	}
+	mTmp := testMachine(t)
+	fast := run1(mTmp.Topology().FastCores()[0])
+	slow := run1(mTmp.Topology().SlowCores()[0])
+	ratio := float64(slow) / float64(fast)
+	want := 2.33 / 1.21
+	if math.Abs(ratio-want) > 0.1 {
+		t.Errorf("slow/fast runtime ratio = %v, want ~%v", ratio, want)
+	}
+}
+
+func TestSMTPenaltyApplies(t *testing.T) {
+	mSolo := testMachine(t)
+	fast := mSolo.Topology().FastCores()
+	place(t, mSolo, 0, 0, 1000, Demand{}, fast[0])
+	solo := run(t, mSolo, 20000)
+
+	mPair := testMachine(t)
+	sib := mPair.Topology().Siblings(fast[0])
+	place(t, mPair, 0, 0, 1000, Demand{}, sib[0])
+	place(t, mPair, 1, 0, 1000, Demand{}, sib[1])
+	paired := run(t, mPair, 20000)
+
+	ratio := float64(paired) / float64(solo)
+	want := 1 / mPair.Config().SMTPenalty
+	if math.Abs(ratio-want) > 0.05 {
+		t.Errorf("SMT slowdown = %v, want ~%v", ratio, want)
+	}
+}
+
+func TestLaneTimeSharing(t *testing.T) {
+	// Two threads on the SAME logical core split it.
+	m := testMachine(t)
+	core := m.Topology().FastCores()[0]
+	place(t, m, 0, 0, 500, Demand{}, core)
+	place(t, m, 1, 0, 500, Demand{}, core)
+	done := run(t, m, 20000)
+	mSolo := testMachine(t)
+	place(t, mSolo, 0, 0, 500, Demand{}, core)
+	solo := run(t, mSolo, 20000)
+	if ratio := float64(done) / float64(solo); ratio < 1.9 || ratio > 2.2 {
+		t.Errorf("time-sharing ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestContentionSlowsMemoryThreads(t *testing.T) {
+	mem := Demand{AccessesPerWork: 10, MissRatio: 0.55}
+	mSolo := testMachine(t)
+	place(t, mSolo, 0, 0, 1000, mem, mSolo.Topology().FastCores()[0])
+	solo := run(t, mSolo, 60000)
+
+	mBusy := testMachine(t)
+	fast := mBusy.Topology().FastCores()
+	for i := 0; i < 16; i++ {
+		place(t, mBusy, ThreadID(i), 0, 1000, mem, fast[i])
+	}
+	busy := run(t, mBusy, 120000)
+	if ratio := float64(busy) / float64(solo); ratio < 1.3 {
+		t.Errorf("contention slowdown = %v, want > 1.3", ratio)
+	}
+}
+
+func TestMigrationMechanics(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()[0]
+	slow := m.Topology().SlowCores()[0]
+	place(t, m, 0, 0, 1e6, Demand{AccessesPerWork: 5, MissRatio: 0.3}, fast)
+	m.Step(0, 1)
+	if err := m.Migrate(0, slow, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.CoreOf(0)
+	if c != slow {
+		t.Errorf("core after migrate = %v, want %v", c, slow)
+	}
+	if m.MigrationCount() != 1 {
+		t.Errorf("migration count = %d", m.MigrationCount())
+	}
+	if m.Counters().Thread(0).Migrations != 1 {
+		t.Errorf("thread migration counter = %d", m.Counters().Thread(0).Migrations)
+	}
+	// During the stall the thread makes no progress.
+	before := m.Counters().Thread(0).Work
+	m.Step(1, 1)
+	if m.Counters().Thread(0).Work != before {
+		t.Error("thread progressed during migration stall")
+	}
+	if m.Counters().Thread(0).StallTime == 0 {
+		t.Error("stall time not accounted")
+	}
+	// Migrating to the same core is a no-op.
+	if err := m.Migrate(0, slow, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.MigrationCount() != 1 {
+		t.Error("same-core migration counted")
+	}
+}
+
+func TestSwapMechanics(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()[0]
+	slow := m.Topology().SlowCores()[0]
+	place(t, m, 0, 0, 1e6, Demand{}, fast)
+	place(t, m, 1, 0, 1e6, Demand{}, slow)
+	if err := m.Swap(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := m.CoreOf(0)
+	c1, _ := m.CoreOf(1)
+	if c0 != slow || c1 != fast {
+		t.Errorf("swap did not exchange cores: %v, %v", c0, c1)
+	}
+	if m.SwapCount() != 1 || m.MigrationCount() != 2 {
+		t.Errorf("counts = %d swaps, %d migrations", m.SwapCount(), m.MigrationCount())
+	}
+	// Self-swap is a no-op.
+	if err := m.Swap(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.SwapCount() != 1 {
+		t.Error("self-swap counted")
+	}
+}
+
+func TestColdCachePenaltyDecays(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()[0]
+	slow := m.Topology().SlowCores()[0]
+	place(t, m, 0, 0, 1e6, Demand{AccessesPerWork: 10, MissRatio: 0.4}, fast)
+	th := m.threads[0]
+	if m.coldFactor(th, 0) != 1 {
+		t.Error("unmigrated thread has cold penalty")
+	}
+	m.Migrate(0, slow, 100)
+	justAfter := m.coldFactor(th, 100)
+	wantPeak := m.cfg.ColdMissFactor
+	if math.Abs(justAfter-wantPeak) > 1e-9 {
+		t.Errorf("cold factor at migration = %v, want %v", justAfter, wantPeak)
+	}
+	half := m.coldFactor(th, 100+sim.Time(m.cfg.ColdHalfLife))
+	if math.Abs(half-1-(wantPeak-1)/2) > 1e-9 {
+		t.Errorf("cold factor after one half-life = %v", half)
+	}
+	late := m.coldFactor(th, 100+sim.Time(20*m.cfg.ColdHalfLife))
+	if late > 1.001 {
+		t.Errorf("cold factor did not decay: %v", late)
+	}
+}
+
+func TestLocalVsRemoteMigrationPenalty(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()
+	slow := m.Topology().SlowCores()
+	place(t, m, 0, 0, 1e6, Demand{AccessesPerWork: 10, MissRatio: 0.4}, fast[0])
+	place(t, m, 1, 0, 1e6, Demand{AccessesPerWork: 10, MissRatio: 0.4}, fast[2])
+	// Cross-socket move: big penalty plus NUMA latency factor.
+	m.Migrate(0, slow[0], 0)
+	if m.coldFactor(m.threads[0], 0) != m.cfg.ColdMissFactor {
+		t.Error("cross-socket move did not use remote penalty")
+	}
+	if m.numaFactor(m.threads[0], 0) != m.cfg.RemoteLatencyFactor {
+		t.Error("cross-socket move did not set NUMA factor")
+	}
+	// Same-socket move: small penalty, no NUMA factor.
+	m.Migrate(1, fast[4], 0)
+	if m.coldFactor(m.threads[1], 0) != m.cfg.LocalColdFactor {
+		t.Error("local move did not use local penalty")
+	}
+	if m.numaFactor(m.threads[1], 0) != 1 {
+		t.Error("local move set a NUMA factor")
+	}
+}
+
+func TestBarrierGroupCouplesProgress(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()[0]
+	slow := m.Topology().SlowCores()[0]
+	dem := Demand{AccessesPerWork: 1, MissRatio: 0.05}
+	place(t, m, 0, 0, 1000, dem, fast)
+	place(t, m, 1, 0, 1000, dem, slow)
+	if err := m.AddBarrierGroup(50, []ThreadID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now < 200; now++ {
+		m.Step(now, 1)
+	}
+	w0 := m.Counters().Thread(0).Work
+	w1 := m.Counters().Thread(1).Work
+	// The fast thread may be at most one barrier segment ahead.
+	if w0-w1 > 50+1e-9 {
+		t.Errorf("barrier violated: fast at %v, slow at %v", w0, w1)
+	}
+	if w0 <= w1 {
+		t.Errorf("fast thread not ahead at all: %v vs %v", w0, w1)
+	}
+}
+
+func TestBarrierFinishedMembersReleaseGroup(t *testing.T) {
+	m := testMachine(t)
+	fast := m.Topology().FastCores()[0]
+	slow := m.Topology().SlowCores()[0]
+	dem := Demand{}
+	place(t, m, 0, 0, 100, dem, fast) // finishes early
+	place(t, m, 1, 0, 1000, dem, slow)
+	if err := m.AddBarrierGroup(50, []ThreadID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := run(t, m, 60000)
+	if done <= 0 {
+		t.Error("did not finish")
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	m := testMachine(t)
+	place(t, m, 0, 0, 100, Demand{}, 0)
+	if err := m.AddBarrierGroup(0, []ThreadID{0, 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := m.AddBarrierGroup(10, []ThreadID{0}); err == nil {
+		t.Error("single-member group accepted")
+	}
+	if err := m.AddBarrierGroup(10, []ThreadID{0, 99}); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestThreadAccounting(t *testing.T) {
+	m := testMachine(t)
+	dem := Demand{AccessesPerWork: 4, MissRatio: 0.5}
+	place(t, m, 0, 0, 100, dem, m.Topology().FastCores()[0])
+	done := run(t, m, 10000)
+	tc := m.Counters().Thread(0)
+	if math.Abs(tc.Work-100) > 1e-6 {
+		t.Errorf("work = %v, want 100", tc.Work)
+	}
+	if math.Abs(tc.Accesses-400) > 1e-6 {
+		t.Errorf("accesses = %v, want 400", tc.Accesses)
+	}
+	if math.Abs(tc.Misses-200) > 1e-6 {
+		t.Errorf("misses = %v, want 200", tc.Misses)
+	}
+	if math.Abs(tc.Instructions-100000) > 1e-3 {
+		t.Errorf("instructions = %v, want 1e5", tc.Instructions)
+	}
+	ft, ok := m.Finished(0)
+	if !ok || ft <= 0 || ft > done {
+		t.Errorf("finish time = %v, %v", ft, ok)
+	}
+	if m.Progress(0) != 1 {
+		t.Errorf("progress = %v, want 1", m.Progress(0))
+	}
+	// Core counters saw the same misses.
+	cc := m.Counters().Core(int(m.Topology().FastCores()[0]))
+	if math.Abs(cc.ServedMisses-200) > 1e-6 {
+		t.Errorf("core served = %v, want 200", cc.ServedMisses)
+	}
+}
+
+func TestAddThreadValidation(t *testing.T) {
+	m := testMachine(t)
+	if err := m.AddThread(0, 0, nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	if err := m.AddThread(0, 0, ConstProgram{Work: 0}); err == nil {
+		t.Error("zero work accepted")
+	}
+	if err := m.AddThread(0, 0, ConstProgram{Work: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddThread(0, 0, ConstProgram{Work: 10}); err == nil {
+		t.Error("duplicate thread accepted")
+	}
+	if err := m.Place(0, CoreID(999)); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := m.Place(99, 0); err == nil {
+		t.Error("unknown thread accepted")
+	}
+}
+
+func TestUnplacedThreadPanics(t *testing.T) {
+	m := testMachine(t)
+	if err := m.AddThread(0, 0, ConstProgram{Work: 10}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("stepping with unplaced thread did not panic")
+		}
+	}()
+	m.Step(0, 1)
+}
+
+func TestAliveAndThreadsOn(t *testing.T) {
+	m := testMachine(t)
+	place(t, m, 0, 0, 50, Demand{}, 0)
+	place(t, m, 1, 1, 50000, Demand{}, 1)
+	if len(m.Alive()) != 2 {
+		t.Error("Alive wrong before run")
+	}
+	// Run until thread 0 finishes.
+	now := sim.Time(0)
+	for {
+		if _, ok := m.Finished(0); ok {
+			break
+		}
+		m.Step(now, 1)
+		now++
+	}
+	alive := m.Alive()
+	if len(alive) != 1 || alive[0] != 1 {
+		t.Errorf("Alive = %v, want [1]", alive)
+	}
+	if got := m.ThreadsOn(0); len(got) != 0 {
+		t.Errorf("ThreadsOn(0) = %v, want empty (occupant finished)", got)
+	}
+	if got := m.ThreadsOn(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ThreadsOn(1) = %v", got)
+	}
+	b, err := m.BenchOf(1)
+	if err != nil || b != 1 {
+		t.Errorf("BenchOf = %v, %v", b, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Machine {
+		m := testMachine(t)
+		dem := Demand{AccessesPerWork: 8, MissRatio: 0.4}
+		for i := 0; i < 8; i++ {
+			place(t, m, ThreadID(i), 0, 2000, dem, CoreID(i*3%40))
+		}
+		return m
+	}
+	m1, m2 := build(), build()
+	d1 := run(t, m1, 200000)
+	d2 := run(t, m2, 200000)
+	if d1 != d2 {
+		t.Errorf("runs diverged: %v vs %v", d1, d2)
+	}
+	if m1.Counters().Thread(3).Misses != m2.Counters().Thread(3).Misses {
+		t.Error("counter state diverged")
+	}
+}
+
+func TestPlacementSnapshot(t *testing.T) {
+	m := testMachine(t)
+	place(t, m, 0, 0, 10, Demand{}, 5)
+	snap := m.PlacementSnapshot()
+	if snap[0] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

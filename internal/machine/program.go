@@ -1,0 +1,44 @@
+package machine
+
+import "dike/internal/sim"
+
+// Demand is a thread's instantaneous resource demand, expressed per unit
+// of work: how many LLC accesses a unit of work performs and what fraction
+// of those miss to main memory. The workload package synthesises Demand
+// streams that mimic the Rodinia applications' phase behaviour.
+type Demand struct {
+	// AccessesPerWork is LLC accesses issued per work unit completed.
+	AccessesPerWork float64
+	// MissRatio is the fraction of those accesses that miss the LLC and
+	// reach the memory controller, in [0, 1].
+	MissRatio float64
+}
+
+// MissesPerWork returns main-memory transactions per work unit.
+func (d Demand) MissesPerWork() float64 { return d.AccessesPerWork * d.MissRatio }
+
+// Program describes a thread's execution as seen by the machine: a fixed
+// amount of total work and a demand profile that may vary with the
+// thread's own progress and with wall-clock time (phases, bursts). A
+// Program must be deterministic: the same (work, now) always yields the
+// same Demand.
+type Program interface {
+	// TotalWork is the work the thread must complete, in work units.
+	TotalWork() float64
+	// DemandAt returns the demand profile when the thread has completed
+	// `work` units at simulated time `now`.
+	DemandAt(work float64, now sim.Time) Demand
+}
+
+// ConstProgram is the simplest Program: fixed total work with constant
+// demand. It is the workhorse of unit tests and micro-benchmarks.
+type ConstProgram struct {
+	Work   float64
+	Demand Demand
+}
+
+// TotalWork implements Program.
+func (p ConstProgram) TotalWork() float64 { return p.Work }
+
+// DemandAt implements Program.
+func (p ConstProgram) DemandAt(float64, sim.Time) Demand { return p.Demand }

@@ -1,0 +1,99 @@
+package machine
+
+import "testing"
+
+func defaultSpec() TopologySpec {
+	return TopologySpec{FastPhysical: 10, SlowPhysical: 10, SMTWays: 2, FastSpeed: 2.33, SlowSpeed: 1.21}
+}
+
+func TestBuildTopologyCounts(t *testing.T) {
+	topo, err := BuildTopology(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCores() != 40 {
+		t.Fatalf("NumCores = %d, want 40", topo.NumCores())
+	}
+	if len(topo.FastCores()) != 20 || len(topo.SlowCores()) != 20 {
+		t.Errorf("fast/slow split = %d/%d, want 20/20", len(topo.FastCores()), len(topo.SlowCores()))
+	}
+}
+
+func TestTopologyDenseIDs(t *testing.T) {
+	topo, _ := BuildTopology(defaultSpec())
+	for i, c := range topo.Cores() {
+		if int(c.ID) != i {
+			t.Fatalf("core %d has id %d", i, c.ID)
+		}
+	}
+}
+
+func TestTopologySiblings(t *testing.T) {
+	topo, _ := BuildTopology(defaultSpec())
+	for _, c := range topo.Cores() {
+		sib := topo.Siblings(c.ID)
+		if len(sib) != 2 {
+			t.Fatalf("core %d has %d siblings, want 2", c.ID, len(sib))
+		}
+		found := false
+		for _, s := range sib {
+			if s == c.ID {
+				found = true
+			}
+			if topo.Core(s).Physical != c.Physical {
+				t.Fatalf("sibling %d on different physical core", s)
+			}
+			if topo.Core(s).Kind != c.Kind {
+				t.Fatalf("sibling %d has different kind", s)
+			}
+		}
+		if !found {
+			t.Fatalf("Siblings(%d) does not include itself", c.ID)
+		}
+	}
+}
+
+func TestTopologySpeeds(t *testing.T) {
+	topo, _ := BuildTopology(defaultSpec())
+	for _, id := range topo.FastCores() {
+		if topo.Core(id).Speed != 2.33 {
+			t.Fatalf("fast core speed = %v", topo.Core(id).Speed)
+		}
+	}
+	for _, id := range topo.SlowCores() {
+		if topo.Core(id).Speed != 1.21 {
+			t.Fatalf("slow core speed = %v", topo.Core(id).Speed)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	bad := []TopologySpec{
+		{FastPhysical: -1, SlowPhysical: 1, SMTWays: 1, FastSpeed: 2, SlowSpeed: 1},
+		{FastPhysical: 0, SlowPhysical: 0, SMTWays: 1, FastSpeed: 2, SlowSpeed: 1},
+		{FastPhysical: 1, SlowPhysical: 1, SMTWays: 0, FastSpeed: 2, SlowSpeed: 1},
+		{FastPhysical: 1, SlowPhysical: 1, SMTWays: 1, FastSpeed: 0, SlowSpeed: 1},
+		{FastPhysical: 1, SlowPhysical: 1, SMTWays: 1, FastSpeed: 1, SlowSpeed: 2},
+	}
+	for i, s := range bad {
+		if _, err := BuildTopology(s); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestTopologyCorePanicsOutOfRange(t *testing.T) {
+	topo, _ := BuildTopology(defaultSpec())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Core did not panic")
+		}
+	}()
+	topo.Core(CoreID(100))
+}
+
+func TestCoreKindString(t *testing.T) {
+	if FastCore.String() != "fast" || SlowCore.String() != "slow" {
+		t.Error("CoreKind strings wrong")
+	}
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"errors"
+	"sort"
+
+	"dike/internal/machine"
+	"dike/internal/sim"
+)
+
+// Rotate is the "trivially fair" reference scheduler: every quantum it
+// rotates all alive threads one position around the core ring, so over
+// a long run every thread sees every core equally. It demonstrates the
+// paper's aside that "we could trivially provide fairness by making all
+// threads extremely slow": rotation equalizes runtimes almost perfectly
+// while paying a migration for every thread every quantum.
+type Rotate struct {
+	m      *machine.Machine
+	seed   uint64
+	ql     sim.Time
+	placed bool
+}
+
+// RotateQuantum is the rotation period.
+const RotateQuantum sim.Time = 1000
+
+// NewRotate returns the rotation policy.
+func NewRotate(m *machine.Machine, seed uint64) *Rotate {
+	return &Rotate{m: m, seed: seed, ql: RotateQuantum}
+}
+
+// Name implements Policy.
+func (r *Rotate) Name() string { return "rotate" }
+
+// QuantaLength implements Policy.
+func (r *Rotate) QuantaLength() sim.Time { return r.ql }
+
+// Quantum implements Policy.
+func (r *Rotate) Quantum(now sim.Time) {
+	if !r.placed {
+		if err := SpreadPlacement(r.m, r.seed); err != nil {
+			panic(err)
+		}
+		r.placed = true
+		return
+	}
+	alive := r.m.Alive()
+	if len(alive) < 2 {
+		return
+	}
+	// Order threads by their current core id and shift each to the next
+	// occupied core (a single cycle), so the set of occupied cores is
+	// preserved and every thread migrates once.
+	sort.Slice(alive, func(i, j int) bool {
+		ci, _ := r.m.CoreOf(alive[i])
+		cj, _ := r.m.CoreOf(alive[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return alive[i] < alive[j]
+	})
+	cores := make([]machine.CoreID, len(alive))
+	for i, id := range alive {
+		c, err := r.m.CoreOf(id)
+		if err != nil {
+			panic(err)
+		}
+		cores[i] = c
+	}
+	for i, id := range alive {
+		dest := cores[(i+1)%len(cores)]
+		if err := r.m.Migrate(id, dest, now); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Static binds every thread to a fixed core chosen up front and never
+// migrates. With an assignment derived from ground-truth application
+// knowledge it serves as the offline-profiling oracle (the HASS family
+// in the paper's related work); with a bad assignment it is a worst-case
+// reference.
+type Static struct {
+	m          *machine.Machine
+	assignment map[machine.ThreadID]machine.CoreID
+	placed     bool
+}
+
+// NewStatic returns a static policy with the given thread→core map. All
+// registered threads must be covered.
+func NewStatic(m *machine.Machine, assignment map[machine.ThreadID]machine.CoreID) (*Static, error) {
+	for _, id := range m.Threads() {
+		if _, ok := assignment[id]; !ok {
+			return nil, errors.New("sched: static assignment missing thread")
+		}
+	}
+	return &Static{m: m, assignment: assignment}, nil
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return "static" }
+
+// QuantaLength implements Policy.
+func (s *Static) QuantaLength() sim.Time { return 1000 }
+
+// Quantum implements Policy.
+func (s *Static) Quantum(sim.Time) {
+	if s.placed {
+		return
+	}
+	for id, core := range s.assignment {
+		if err := s.m.Place(id, core); err != nil {
+			panic(err)
+		}
+	}
+	s.placed = true
+}
+
+// OracleAssignment builds the offline-knowledge placement: threads are
+// ranked by their programs' true steady-state memory intensity and the
+// most demanding ones get the fast cores, spreading across physical
+// cores before doubling up SMT lanes. intensity maps each thread to its
+// ground-truth misses-per-work; the harness derives it from the workload
+// definition (information a real system would need offline profiling
+// for — hence "oracle").
+func OracleAssignment(m *machine.Machine, intensity map[machine.ThreadID]float64) map[machine.ThreadID]machine.CoreID {
+	topo := m.Topology()
+	// Core order: fast physical cores lane-0, slow lane-0, fast lane-1, …
+	type laneKey struct{ lane, phys int }
+	physSeen := map[int]int{}
+	byLane := map[laneKey]machine.CoreID{}
+	lanes := 0
+	for _, c := range topo.Cores() {
+		lane := physSeen[c.Physical]
+		physSeen[c.Physical]++
+		byLane[laneKey{lane, c.Physical}] = c.ID
+		if lane+1 > lanes {
+			lanes = lane + 1
+		}
+	}
+	// All fast lanes first (a shared fast core still beats a dedicated
+	// slow one at the default SMT penalty), then all slow lanes.
+	var order []machine.CoreID
+	for _, kind := range []machine.CoreKind{machine.FastCore, machine.SlowCore} {
+		for lane := 0; lane < lanes; lane++ {
+			for phys := 0; phys < len(physSeen); phys++ {
+				id, ok := byLane[laneKey{lane, phys}]
+				if ok && topo.Core(id).Kind == kind {
+					order = append(order, id)
+				}
+			}
+		}
+	}
+	// Threads by descending intensity, ties by id.
+	threads := m.Threads()
+	sort.Slice(threads, func(i, j int) bool {
+		a, b := intensity[threads[i]], intensity[threads[j]]
+		if a != b {
+			return a > b
+		}
+		return threads[i] < threads[j]
+	})
+	out := make(map[machine.ThreadID]machine.CoreID, len(threads))
+	for i, id := range threads {
+		out[id] = order[i%len(order)]
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"dike/internal/counters"
+	"dike/internal/machine"
+	"dike/internal/sim"
+)
+
+// Sample is one quantum's worth of counter deltas: what a userspace
+// scheduler learns from reading the PMU at quantum boundaries.
+type Sample struct {
+	// Interval is the elapsed time since the previous sample, ms. Zero
+	// on the very first sample of a run.
+	Interval float64
+	// Threads maps each alive thread to its counter delta.
+	Threads map[machine.ThreadID]counters.ThreadDelta
+	// Cores holds per-core deltas, indexed by core id.
+	Cores []counters.CoreDelta
+}
+
+// AccessRate returns the measured memory access rate of tid during this
+// sample (misses/ms), or 0 if the thread was not sampled.
+func (s *Sample) AccessRate(tid machine.ThreadID) float64 {
+	return s.Threads[tid].AccessRate()
+}
+
+// Sampler snapshots the machine's counters at quantum boundaries and
+// produces deltas, exactly as a real contention-aware scheduler samples
+// hardware counters.
+type Sampler struct {
+	m        *machine.Machine
+	lastTime sim.Time
+	first    bool
+	prevT    map[machine.ThreadID]counters.ThreadCounters
+	prevC    []counters.CoreCounters
+}
+
+// NewSampler returns a sampler over m's counter file.
+func NewSampler(m *machine.Machine) *Sampler {
+	return &Sampler{
+		m:     m,
+		first: true,
+		prevT: make(map[machine.ThreadID]counters.ThreadCounters),
+		prevC: make([]counters.CoreCounters, m.Counters().NumCores()),
+	}
+}
+
+// Sample reads the counters at time now and returns deltas since the
+// previous call. The first call returns zero deltas (Interval 0); callers
+// typically skip scheduling on it.
+func (s *Sampler) Sample(now sim.Time) *Sample {
+	file := s.m.Counters()
+	interval := float64(now - s.lastTime)
+	if s.first {
+		interval = 0
+		s.first = false
+	}
+	out := &Sample{
+		Interval: interval,
+		Threads:  make(map[machine.ThreadID]counters.ThreadDelta),
+		Cores:    make([]counters.CoreDelta, file.NumCores()),
+	}
+	for _, tid := range s.m.Alive() {
+		prev := s.prevT[tid]
+		out.Threads[tid] = file.DiffThread(int(tid), prev, interval)
+		s.prevT[tid] = file.Thread(int(tid))
+	}
+	for c := 0; c < file.NumCores(); c++ {
+		out.Cores[c] = file.DiffCore(c, s.prevC[c], interval)
+		s.prevC[c] = file.Core(c)
+	}
+	s.lastTime = now
+	return out
+}

@@ -1,0 +1,144 @@
+// Package sched provides the scheduling framework the policies plug
+// into — quantum-driven policies over the simulated machine — plus the
+// contention-oblivious baselines the paper compares against: the Linux
+// CFS stand-in and DIO (Distributed Intensity Online, Zhuravlev et al.),
+// the state-of-the-art contention-aware comparator.
+//
+// Policies observe the machine exclusively through its performance
+// counters (via Sampler) and act exclusively through affinity changes
+// (Place/Migrate/Swap) — the same contract a userspace scheduler has on
+// real hardware.
+package sched
+
+import (
+	"fmt"
+
+	"dike/internal/machine"
+	"dike/internal/sim"
+)
+
+// Policy is what the simulation engine drives. It extends sim.Policy
+// with nothing; the alias exists so scheduler code doesn't import sim in
+// every file.
+type Policy = sim.Policy
+
+// SpreadPlacement binds every registered thread to its own logical core,
+// spreading across physical cores first (one lane per physical core
+// before doubling up on SMT siblings) and shuffling thread order with the
+// given seed. This models how threads land under a load-tracking but
+// contention- and heterogeneity-oblivious balancer: evenly, and with no
+// correlation between an application and a core type.
+//
+// Every policy uses the same initial placement (same seed) so measured
+// differences come from steady-state behaviour, not starting luck.
+func SpreadPlacement(m *machine.Machine, seed uint64) error {
+	topo := m.Topology()
+	// Lane-major core order: all lane-0s across physical cores, then all
+	// lane-1s, and so on.
+	type laneKey struct{ lane, phys int }
+	cores := topo.Cores()
+	byLane := make(map[laneKey]machine.CoreID, len(cores))
+	lanes := 0
+	physSeen := make(map[int]int)
+	for _, c := range cores {
+		lane := physSeen[c.Physical]
+		physSeen[c.Physical]++
+		byLane[laneKey{lane, c.Physical}] = c.ID
+		if lane+1 > lanes {
+			lanes = lane + 1
+		}
+	}
+	var order []machine.CoreID
+	for lane := 0; lane < lanes; lane++ {
+		for phys := 0; phys < len(physSeen); phys++ {
+			if id, ok := byLane[laneKey{lane, phys}]; ok {
+				order = append(order, id)
+			}
+		}
+	}
+
+	threads := m.Threads()
+	if len(threads) > len(order) {
+		// More threads than logical cores: wrap around; lanes time-share.
+		// Supported, though the paper's workloads never need it.
+		wrapped := make([]machine.CoreID, 0, len(threads))
+		for i := range threads {
+			wrapped = append(wrapped, order[i%len(order)])
+		}
+		order = wrapped
+	}
+	rng := sim.NewRNG(seed)
+	idx := make([]int, len(threads))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(idx)
+	for i, ti := range idx {
+		if err := m.Place(threads[ti], order[i%len(order)]); err != nil {
+			return fmt.Errorf("sched: placement failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// CFS models the relevant behaviour of Linux's completely fair scheduler
+// for the paper's setup: with one thread per logical core there is
+// nothing for CFS's load balancer to move, so after the initial
+// load-spread placement it leaves the mapping alone. It is the paper's
+// baseline ("Figure 6a shows the improvement in fairness over the
+// baseline, so the baseline is zero").
+type CFS struct {
+	m      *machine.Machine
+	seed   uint64
+	ql     sim.Time
+	placed bool
+}
+
+// NewCFS returns the CFS baseline. quanta only sets how often the engine
+// polls the (inactive) policy; 1000 ms keeps overhead nil.
+func NewCFS(m *machine.Machine, seed uint64) *CFS {
+	return &CFS{m: m, seed: seed, ql: 1000}
+}
+
+// Name implements Policy.
+func (c *CFS) Name() string { return "cfs" }
+
+// QuantaLength implements Policy.
+func (c *CFS) QuantaLength() sim.Time { return c.ql }
+
+// Quantum implements Policy.
+func (c *CFS) Quantum(sim.Time) {
+	if !c.placed {
+		if err := SpreadPlacement(c.m, c.seed); err != nil {
+			panic(err)
+		}
+		c.placed = true
+	}
+}
+
+// Null is a policy that places threads once and never acts; standalone
+// (single-application) runs use it so Fig 1's baselines are unscheduled.
+type Null struct {
+	m      *machine.Machine
+	seed   uint64
+	placed bool
+}
+
+// NewNull returns the do-nothing policy.
+func NewNull(m *machine.Machine, seed uint64) *Null { return &Null{m: m, seed: seed} }
+
+// Name implements Policy.
+func (n *Null) Name() string { return "null" }
+
+// QuantaLength implements Policy.
+func (n *Null) QuantaLength() sim.Time { return 1000 }
+
+// Quantum implements Policy.
+func (n *Null) Quantum(sim.Time) {
+	if !n.placed {
+		if err := SpreadPlacement(n.m, n.seed); err != nil {
+			panic(err)
+		}
+		n.placed = true
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "fmt"
+
+// Time is simulated time in milliseconds since the start of a run. The
+// paper's quantum lengths (100–1000 ms) and migration overheads (a few ms)
+// are all naturally expressed at millisecond granularity, and integer
+// milliseconds keep quantum boundaries exact.
+type Time int64
+
+// Millis returns the time as a plain int64 millisecond count.
+func (t Time) Millis() int64 { return int64(t) }
+
+// Seconds returns the time in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / 1000 }
+
+// String formats the time as e.g. "12.345s".
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Clock tracks the current simulated time. Only the engine advances it;
+// everything else holds a read-only view via Now.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// advance moves the clock forward by dt milliseconds. It panics on a
+// non-positive step: a zero or backwards step would stall the engine loop,
+// and that is always a programming error.
+func (c *Clock) advance(dt Time) {
+	if dt <= 0 {
+		panic("sim: clock advance with non-positive dt")
+	}
+	c.now += dt
+}

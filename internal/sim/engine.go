@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// World is the physical system being simulated. The machine model
+// implements it: Step advances thread execution, memory contention and
+// counters by dt; Done reports whether every thread has finished its work.
+type World interface {
+	// Step advances the world from now to now+dt.
+	Step(now Time, dt Time)
+	// Done reports whether all work in the world has completed.
+	Done() bool
+}
+
+// Policy is a scheduling policy driven at quantum granularity. At every
+// quantum boundary the engine calls Quantum, and then asks QuantaLength
+// for the distance to the next boundary — which lets adaptive policies
+// (Dike-AF/AP) retune their own quantum on the fly, exactly as the
+// paper's Optimizer does.
+type Policy interface {
+	// Name identifies the policy in traces and reports.
+	Name() string
+	// Quantum runs one scheduling decision at simulated time now.
+	Quantum(now Time)
+	// QuantaLength returns the current time between scheduling decisions.
+	QuantaLength() Time
+}
+
+// TickFunc is an observer invoked after every engine tick; the tracer uses
+// it to sample time series at fixed resolution.
+type TickFunc func(now Time)
+
+// Engine drives a World and a Policy through simulated time.
+type Engine struct {
+	clock  Clock
+	world  World
+	policy Policy
+	step   Time // tick resolution
+	maxT   Time // safety horizon
+	ticks  []TickFunc
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Step is the tick resolution in ms. Default 1 ms.
+	Step Time
+	// MaxTime is the safety horizon; the run errors out if the world has
+	// not finished by then. Default 1 hour of simulated time.
+	MaxTime Time
+}
+
+// DefaultConfig returns the standard engine configuration.
+func DefaultConfig() Config {
+	return Config{Step: 1, MaxTime: 3_600_000}
+}
+
+// ErrHorizon is returned by Run when the world fails to finish before the
+// configured MaxTime — almost always a sign of a livelocked workload or a
+// contention model parameterised so threads make no progress.
+var ErrHorizon = errors.New("sim: world did not finish before MaxTime")
+
+// NewEngine builds an engine over world and policy. A nil policy is
+// rejected; use the sched package's Null policy for unscheduled runs.
+func NewEngine(world World, policy Policy, cfg Config) (*Engine, error) {
+	if world == nil {
+		return nil, errors.New("sim: nil world")
+	}
+	if policy == nil {
+		return nil, errors.New("sim: nil policy")
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = DefaultConfig().MaxTime
+	}
+	return &Engine{world: world, policy: policy, step: cfg.Step, maxT: cfg.MaxTime}, nil
+}
+
+// OnTick registers fn to run after every tick. Observers run in
+// registration order.
+func (e *Engine) OnTick(fn TickFunc) {
+	if fn != nil {
+		e.ticks = append(e.ticks, fn)
+	}
+}
+
+// Now returns the engine's current simulated time.
+func (e *Engine) Now() Time { return e.clock.Now() }
+
+// Run executes the simulation until the world is done. It returns the
+// completion time, or ErrHorizon if MaxTime elapses first.
+//
+// The loop structure mirrors Figure 3 of the paper: time is divided into
+// quanta; within a quantum the machine just executes; at each quantum
+// boundary the policy observes, predicts, decides and migrates.
+func (e *Engine) Run() (Time, error) {
+	ql := e.policy.QuantaLength()
+	if ql <= 0 {
+		return 0, fmt.Errorf("sim: policy %q has non-positive quantum", e.policy.Name())
+	}
+	nextQuantum := Time(0) // fire the first decision at t=0, before any work
+	for !e.world.Done() {
+		now := e.clock.Now()
+		if now >= e.maxT {
+			return now, fmt.Errorf("%w (policy %q, t=%v)", ErrHorizon, e.policy.Name(), now)
+		}
+		if now >= nextQuantum {
+			e.policy.Quantum(now)
+			ql = e.policy.QuantaLength()
+			if ql <= 0 {
+				return now, fmt.Errorf("sim: policy %q set non-positive quantum at %v", e.policy.Name(), now)
+			}
+			nextQuantum = now + ql
+		}
+		// Do not step past the next quantum boundary: decisions must land
+		// exactly on their schedule even when quanta are not multiples of
+		// the tick.
+		dt := e.step
+		if now+dt > nextQuantum {
+			dt = nextQuantum - now
+		}
+		e.world.Step(now, dt)
+		e.clock.advance(dt)
+		for _, fn := range e.ticks {
+			fn(e.clock.Now())
+		}
+	}
+	return e.clock.Now(), nil
+}

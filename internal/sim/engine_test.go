@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeWorld finishes after a fixed amount of simulated time.
+type fakeWorld struct {
+	elapsed Time
+	runFor  Time
+	steps   []Time // dt of every Step call
+}
+
+func (w *fakeWorld) Step(now Time, dt Time) {
+	w.elapsed += dt
+	w.steps = append(w.steps, dt)
+}
+func (w *fakeWorld) Done() bool { return w.elapsed >= w.runFor }
+
+// fakePolicy records quantum invocation times and can retune its quantum.
+type fakePolicy struct {
+	ql    Time
+	calls []Time
+	// retune, if set, is applied to ql after each Quantum call.
+	retune func(Time) Time
+}
+
+func (p *fakePolicy) Name() string       { return "fake" }
+func (p *fakePolicy) QuantaLength() Time { return p.ql }
+func (p *fakePolicy) Quantum(now Time) {
+	p.calls = append(p.calls, now)
+	if p.retune != nil {
+		p.ql = p.retune(p.ql)
+	}
+}
+
+func TestEngineRunsToCompletion(t *testing.T) {
+	w := &fakeWorld{runFor: 1000}
+	p := &fakePolicy{ql: 100}
+	e, err := NewEngine(w, p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 1000 {
+		t.Errorf("completion time = %v, want 1000", done)
+	}
+}
+
+func TestEngineQuantumSchedule(t *testing.T) {
+	w := &fakeWorld{runFor: 500}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Quanta at 0, 100, 200, 300, 400 (the world finishes at 500).
+	want := []Time{0, 100, 200, 300, 400}
+	if len(p.calls) != len(want) {
+		t.Fatalf("quantum calls = %v, want %v", p.calls, want)
+	}
+	for i := range want {
+		if p.calls[i] != want[i] {
+			t.Fatalf("quantum calls = %v, want %v", p.calls, want)
+		}
+	}
+}
+
+func TestEngineAdaptiveQuantum(t *testing.T) {
+	// The policy doubles its quantum each decision; boundaries must track.
+	w := &fakeWorld{runFor: 700}
+	p := &fakePolicy{ql: 100, retune: func(q Time) Time { return q * 2 }}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Quantum at 0 (ql 100->200), 200 (->400), 600 (->800); 700 ends run.
+	want := []Time{0, 200, 600}
+	if len(p.calls) != len(want) {
+		t.Fatalf("quantum calls = %v, want %v", p.calls, want)
+	}
+	for i := range want {
+		if p.calls[i] != want[i] {
+			t.Fatalf("quantum calls = %v, want %v", p.calls, want)
+		}
+	}
+}
+
+func TestEngineStepNeverCrossesQuantum(t *testing.T) {
+	w := &fakeWorld{runFor: 100}
+	p := &fakePolicy{ql: 7} // not a multiple of the tick
+	cfg := DefaultConfig()
+	cfg.Step = 5
+	e, _ := NewEngine(w, p, cfg)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Steps must be 5,2,5,2,... so that boundaries at multiples of 7 are
+	// hit exactly.
+	for i, dt := range w.steps {
+		if dt <= 0 || dt > 5 {
+			t.Fatalf("step %d has dt=%v", i, dt)
+		}
+	}
+	for _, c := range p.calls {
+		if c%7 != 0 {
+			t.Fatalf("quantum fired off-schedule at %v", c)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	w := &fakeWorld{runFor: 1 << 40} // never finishes in time
+	p := &fakePolicy{ql: 100}
+	cfg := DefaultConfig()
+	cfg.MaxTime = 1000
+	e, _ := NewEngine(w, p, cfg)
+	_, err := e.Run()
+	if !errors.Is(err, ErrHorizon) {
+		t.Errorf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestEngineRejectsNil(t *testing.T) {
+	if _, err := NewEngine(nil, &fakePolicy{ql: 1}, DefaultConfig()); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := NewEngine(&fakeWorld{runFor: 1}, nil, DefaultConfig()); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestEngineRejectsBadQuantum(t *testing.T) {
+	w := &fakeWorld{runFor: 10}
+	p := &fakePolicy{ql: 0}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	if _, err := e.Run(); err == nil {
+		t.Error("non-positive quantum accepted")
+	}
+}
+
+func TestEngineOnTick(t *testing.T) {
+	w := &fakeWorld{runFor: 10}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	var ticks []Time
+	e.OnTick(func(now Time) { ticks = append(ticks, now) })
+	e.OnTick(nil) // must be ignored
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 10 {
+		t.Fatalf("got %d ticks, want 10", len(ticks))
+	}
+	for i, tk := range ticks {
+		if tk != Time(i+1) {
+			t.Fatalf("tick %d at %v, want %v", i, tk, i+1)
+		}
+	}
+}
+
+func TestClockAdvancePanicsOnNonPositive(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Error("advance(0) did not panic")
+		}
+	}()
+	c.advance(0)
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if Time(12345).String() != "12.345s" {
+		t.Errorf("String = %q", Time(12345).String())
+	}
+	if Time(1500).Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", Time(1500).Seconds())
+	}
+	if Time(250).Millis() != 250 {
+		t.Errorf("Millis = %v", Time(250).Millis())
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+// MovingMean is an exponentially-weighted moving mean. The paper's
+// Observer keeps "the moving mean bandwidth for each core in the CoreBW
+// variable and updates it every quanta"; EWMA is the standard lightweight
+// realisation of that — O(1) state per core, no sample history.
+//
+// The zero value is not ready for use; construct with NewMovingMean.
+type MovingMean struct {
+	alpha float64 // weight of the newest sample, in (0, 1]
+	value float64
+	n     int
+}
+
+// NewMovingMean returns a moving mean whose newest sample carries weight
+// alpha. Alpha is clamped to (0, 1]; alpha = 1 degenerates to "latest
+// sample wins".
+func NewMovingMean(alpha float64) *MovingMean {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &MovingMean{alpha: alpha}
+}
+
+// Add folds a new sample into the mean. The first sample initialises the
+// mean exactly, so early estimates are unbiased.
+func (m *MovingMean) Add(x float64) {
+	if m.n == 0 {
+		m.value = x
+	} else {
+		m.value = m.alpha*x + (1-m.alpha)*m.value
+	}
+	m.n++
+}
+
+// Value returns the current mean (0 before any sample).
+func (m *MovingMean) Value() float64 { return m.value }
+
+// Count returns how many samples have been folded in.
+func (m *MovingMean) Count() int { return m.n }
+
+// Reset forgets all samples.
+func (m *MovingMean) Reset() { m.value, m.n = 0, 0 }
+
+// Window is a fixed-capacity sliding window of float64 samples with O(1)
+// push and O(1) running sum, used for windowed rate estimates (e.g. the
+// per-quantum access-rate series behind Fig 8).
+type Window struct {
+	buf  []float64
+	head int
+	size int
+	sum  float64
+}
+
+// NewWindow returns a window holding the last n samples (n ≥ 1).
+func NewWindow(n int) *Window {
+	if n < 1 {
+		n = 1
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Push adds a sample, evicting the oldest if the window is full.
+func (w *Window) Push(x float64) {
+	if w.size == len(w.buf) {
+		w.sum -= w.buf[w.head]
+		w.buf[w.head] = x
+		w.head = (w.head + 1) % len(w.buf)
+	} else {
+		w.buf[(w.head+w.size)%len(w.buf)] = x
+		w.size++
+	}
+	w.sum += x
+}
+
+// Mean returns the mean of the samples currently in the window (0 if empty).
+func (w *Window) Mean() float64 {
+	if w.size == 0 {
+		return 0
+	}
+	return w.sum / float64(w.size)
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.size }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Values returns the samples oldest-first as a fresh slice.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, w.size)
+	for i := 0; i < w.size; i++ {
+		out = append(out, w.buf[(w.head+i)%len(w.buf)])
+	}
+	return out
+}
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head, w.size, w.sum = 0, 0, 0
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingMeanFirstSampleExact(t *testing.T) {
+	m := NewMovingMean(0.1)
+	m.Add(42)
+	if m.Value() != 42 {
+		t.Errorf("first sample = %v, want 42", m.Value())
+	}
+	if m.Count() != 1 {
+		t.Errorf("count = %d, want 1", m.Count())
+	}
+}
+
+func TestMovingMeanConverges(t *testing.T) {
+	m := NewMovingMean(0.3)
+	for i := 0; i < 200; i++ {
+		m.Add(7)
+	}
+	if !almost(m.Value(), 7, 1e-9) {
+		t.Errorf("converged value = %v, want 7", m.Value())
+	}
+}
+
+func TestMovingMeanTracksStep(t *testing.T) {
+	m := NewMovingMean(0.5)
+	m.Add(0)
+	for i := 0; i < 30; i++ {
+		m.Add(10)
+	}
+	if m.Value() < 9.99 {
+		t.Errorf("after step, value = %v, want near 10", m.Value())
+	}
+}
+
+func TestMovingMeanAlphaClamped(t *testing.T) {
+	m := NewMovingMean(-1) // clamps to small positive
+	m.Add(1)
+	m.Add(100)
+	if m.Value() >= 100 || m.Value() <= 1 {
+		t.Errorf("value = %v, want strictly between samples", m.Value())
+	}
+	one := NewMovingMean(5) // clamps to 1: latest sample wins
+	one.Add(1)
+	one.Add(100)
+	if one.Value() != 100 {
+		t.Errorf("alpha=1 value = %v, want 100", one.Value())
+	}
+}
+
+func TestMovingMeanReset(t *testing.T) {
+	m := NewMovingMean(0.5)
+	m.Add(3)
+	m.Reset()
+	if m.Value() != 0 || m.Count() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	m.Add(9)
+	if m.Value() != 9 {
+		t.Error("first sample after Reset not exact")
+	}
+}
+
+func TestMovingMeanBounded(t *testing.T) {
+	// The EWMA always stays within [min, max] of the samples seen.
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		m := NewMovingMean(0.25)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			m.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return m.Value() >= lo-1e-9 && m.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 || w.Mean() != 0 {
+		t.Error("fresh window state wrong")
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Len() != 2 || !almost(w.Mean(), 1.5, 1e-12) {
+		t.Errorf("mean = %v, want 1.5", w.Mean())
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	if w.Len() != 3 || !almost(w.Mean(), 3, 1e-12) {
+		t.Errorf("mean after eviction = %v, want 3", w.Mean())
+	}
+	vals := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("Values = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestWindowCapacityOne(t *testing.T) {
+	w := NewWindow(0) // clamps to 1
+	w.Push(5)
+	w.Push(6)
+	if w.Len() != 1 || w.Mean() != 6 {
+		t.Errorf("len=%d mean=%v, want 1, 6", w.Len(), w.Mean())
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	w.Push(2)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear window")
+	}
+	w.Push(7)
+	if w.Mean() != 7 {
+		t.Error("window broken after Reset")
+	}
+}
+
+func TestWindowMeanMatchesValues(t *testing.T) {
+	// The running sum must agree with a recomputation from Values().
+	f := func(xs []float64, capRaw uint8) bool {
+		capN := int(capRaw%16) + 1
+		w := NewWindow(capN)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+			w.Push(x)
+		}
+		vals := w.Values()
+		if len(vals) != w.Len() {
+			return false
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if w.Len() == 0 {
+			return w.Mean() == 0
+		}
+		return almost(w.Mean(), sum/float64(len(vals)), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import "fmt"
+
+// The profiles below model the Rodinia OpenMP applications (plus the
+// STREAM kernel and KMEANS) the paper uses, in the machine's abstract
+// units. They are calibrated to reproduce the *behavioural* facts the
+// scheduler depends on, not the applications' absolute numbers:
+//
+//   - Memory class (Table II): jacobi, streamcluster, needle and
+//     stream_omp miss to DRAM on well over 10% of LLC accesses;
+//     leukocyte, lavaMD, srad, hotspot and heartwall stay well under.
+//   - Every application starts with a short memory-heavy warm-up phase
+//     ("Many benchmarks have a memory intensive phase in the beginning
+//     to fetch data and instructions", §IV-B).
+//   - Compute-intensive applications have short memory bursts and more
+//     noise, which is what makes UC workloads hard to predict (§IV-C);
+//     memory-intensive ones access memory at a steady rate, which is why
+//     UM workloads predict easily.
+//   - KMEANS has "excessive inter-thread communication": a tight barrier
+//     couples its threads.
+//
+// Work totals put standalone fast-core runtimes around 1.5–2.5 simulated
+// minutes, matching the scale at which the paper's quanta (100–1000 ms)
+// produce hundreds of scheduling decisions per run.
+
+// warmupFrac is the fraction of total work in the initial fetch phase.
+const warmupFrac = 0.06
+
+// kiloWork converts the human-scale work totals below into work units.
+// Cores process ~1–2 work units per ms, so a "220" application runs for
+// roughly two simulated minutes standalone — the scale at which the
+// paper's 100–1000 ms quanta yield hundreds of scheduling decisions.
+const kiloWork = 1000
+
+// phases builds a warm-up phase followed by the given steady phases,
+// scaling so total work is exactly `work` kilo-units.
+func phases(work float64, steady ...Phase) []Phase {
+	work *= kiloWork
+	warm := Phase{Work: work * warmupFrac, AccessesPerWork: 14, MissRatio: 0.60}
+	rest := work * (1 - warmupFrac)
+	sum := 0.0
+	for _, p := range steady {
+		sum += p.Work
+	}
+	out := []Phase{warm}
+	for _, p := range steady {
+		p.Work = rest * p.Work / sum
+		out = append(out, p)
+	}
+	return out
+}
+
+// Profiles returns the full application catalogue keyed by name. The map
+// and profiles are freshly allocated on each call, so callers may adapt
+// them without aliasing.
+func Profiles() map[string]*Profile {
+	list := []*Profile{
+		{
+			Name:  "jacobi",
+			Class: MemoryIntensive,
+			// Iterative stencil: steady, heavily memory bound.
+			Phases:   phases(220, Phase{Work: 1, AccessesPerWork: 10, MissRatio: 0.55}),
+			NoiseEps: 0.05,
+		},
+		{
+			Name:  "streamcluster",
+			Class: MemoryIntensive,
+			// Online clustering: alternates point-assignment (streaming)
+			// and centre-opening (lighter) phases.
+			Phases: phases(205,
+				Phase{Work: 3, AccessesPerWork: 12, MissRatio: 0.50},
+				Phase{Work: 1, AccessesPerWork: 6, MissRatio: 0.28},
+				Phase{Work: 3, AccessesPerWork: 12, MissRatio: 0.50},
+				Phase{Work: 1, AccessesPerWork: 6, MissRatio: 0.28},
+			),
+			NoiseEps: 0.08,
+		},
+		{
+			Name:  "needle",
+			Class: MemoryIntensive,
+			// Needleman-Wunsch: wavefront widens then narrows; memory
+			// pressure ramps up and back down.
+			Phases: phases(210,
+				Phase{Work: 1, AccessesPerWork: 7, MissRatio: 0.35},
+				Phase{Work: 2, AccessesPerWork: 10, MissRatio: 0.50},
+				Phase{Work: 1, AccessesPerWork: 7, MissRatio: 0.35},
+			),
+			NoiseEps: 0.06,
+		},
+		{
+			Name:  "stream_omp",
+			Class: MemoryIntensive,
+			// STREAM: pure bandwidth, the most memory-hungry app; the
+			// paper's wl15 outlier revolves around it.
+			Phases:   phases(180, Phase{Work: 1, AccessesPerWork: 16, MissRatio: 0.70}),
+			NoiseEps: 0.03,
+		},
+		{
+			Name:  "leukocyte",
+			Class: ComputeIntensive,
+			// Video tracking: compute-dense with periodic frame loads.
+			Phases:         phases(175, Phase{Work: 1, AccessesPerWork: 3, MissRatio: 0.030}),
+			BurstEvery:     900,
+			BurstLen:       70,
+			BurstAccesses:  11,
+			BurstMissRatio: 0.45,
+			NoiseEps:       0.12,
+		},
+		{
+			Name:  "lavaMD",
+			Class: ComputeIntensive,
+			// N-body within cutoff boxes: very cache friendly.
+			Phases:   phases(165, Phase{Work: 1, AccessesPerWork: 2.5, MissRatio: 0.020}),
+			NoiseEps: 0.08,
+		},
+		{
+			Name:  "srad",
+			Class: ComputeIntensive,
+			// Speckle-reducing diffusion: compute heavy with moderate
+			// stencil traffic.
+			Phases: phases(180,
+				Phase{Work: 1, AccessesPerWork: 4, MissRatio: 0.055},
+				Phase{Work: 1, AccessesPerWork: 5, MissRatio: 0.070},
+			),
+			BurstEvery:     1200,
+			BurstLen:       60,
+			BurstAccesses:  9,
+			BurstMissRatio: 0.40,
+			NoiseEps:       0.10,
+		},
+		{
+			Name:  "hotspot",
+			Class: ComputeIntensive,
+			// Thermal simulation: small working set, iterative.
+			Phases:   phases(172, Phase{Work: 1, AccessesPerWork: 3.5, MissRatio: 0.040}),
+			NoiseEps: 0.09,
+		},
+		{
+			Name:  "heartwall",
+			Class: ComputeIntensive,
+			// Ultrasound tracking: strongly phase-y; the paper singles
+			// out its fluctuations as a source of prediction error.
+			Phases: phases(178,
+				Phase{Work: 2, AccessesPerWork: 3, MissRatio: 0.045},
+				Phase{Work: 1, AccessesPerWork: 6, MissRatio: 0.085},
+				Phase{Work: 2, AccessesPerWork: 3, MissRatio: 0.045},
+			),
+			BurstEvery:     700,
+			BurstLen:       90,
+			BurstAccesses:  12,
+			BurstMissRatio: 0.50,
+			NoiseEps:       0.15,
+		},
+		{
+			Name:  "kmeans",
+			Class: MemoryIntensive,
+			// Clustering with per-iteration reductions: moderately memory
+			// intensive with tight inter-thread coupling — it exists to
+			// add contention, and its low access rate relative to the
+			// other memory apps means it is the first to yield fast
+			// cores when they are scarce.
+			Phases:          phases(200, Phase{Work: 1, AccessesPerWork: 6, MissRatio: 0.14}),
+			NoiseEps:        0.08,
+			BarrierInterval: 0.5 * kiloWork,
+		},
+	}
+	m := make(map[string]*Profile, len(list))
+	for _, p := range list {
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("workload: bad builtin profile: %v", err))
+		}
+		m[p.Name] = p
+	}
+	return m
+}
+
+// AppNames returns the catalogue's application names in a stable order:
+// memory-intensive first, then compute-intensive, each alphabetical.
+func AppNames() []string {
+	return []string{
+		"jacobi", "kmeans", "needle", "stream_omp", "streamcluster",
+		"heartwall", "hotspot", "lavaMD", "leukocyte", "srad",
+	}
+}
+
+// LookupProfile returns the named builtin profile.
+func LookupProfile(name string) (*Profile, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown application %q", name)
+	}
+	return p, nil
+}
