@@ -1,0 +1,27 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"dike/internal/sim"
+)
+
+// fatal prints err and exits non-zero. A safety-horizon overrun gets a
+// dedicated message carrying the simulated time and live-thread count,
+// so a wedged run (threads that can no longer finish) is
+// distinguishable from an ordinary configuration mistake.
+func fatal(err error) {
+	var herr *sim.HorizonError
+	if errors.As(err, &herr) {
+		if herr.Alive >= 0 {
+			fmt.Fprintf(os.Stderr, "simulation hit the safety horizon at t=%v with %d threads still live (policy %q)\n", herr.T, herr.Alive, herr.Policy)
+		} else {
+			fmt.Fprintf(os.Stderr, "simulation hit the safety horizon at t=%v (policy %q)\n", herr.T, herr.Policy)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -68,8 +68,8 @@ func main() {
 		start := time.Now()
 		rep, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s failed: ", id)
+			fatal(err)
 		}
 		if err := rep.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"dike/internal/fault"
 	"dike/internal/harness"
 	"dike/internal/workload"
 )
@@ -30,6 +31,9 @@ func main() {
 		scaleFlag  = flag.Float64("scale", 0.5, "workload scale")
 		kmeansFlag = flag.Bool("kmeans", true, "include the kmeans contention app in custom workloads")
 		traceFlag  = flag.String("trace", "", "write a CSV time-series trace (memory utilisation, alive threads, swaps, progress dispersion) to this file")
+		faultsFlag = flag.String("faults", "", "fault classes to inject: 'all', 'none', or a comma list of "+fault.ClassNames())
+		frateFlag  = flag.Float64("fault-rate", 1, "multiplier on all fault-class base probabilities")
+		fseedFlag  = flag.Uint64("fault-seed", 1, "fault injector seed (same seed = identical fault schedule)")
 	)
 	flag.Parse()
 
@@ -51,10 +55,23 @@ func main() {
 	if *traceFlag != "" {
 		spec.TraceEvery = 250
 	}
+	if *faultsFlag != "" {
+		classes, err := fault.ParseClasses(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if classes != 0 {
+			fc := fault.DefaultConfig()
+			fc.Classes = classes
+			fc.Rate = *frateFlag
+			fc.Seed = *fseedFlag
+			spec.Faults = &fc
+		}
+	}
 	out, err := harness.Run(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	r := out.Result
@@ -65,6 +82,14 @@ func main() {
 	if out.History != nil {
 		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
 			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
+	}
+	if out.FaultStats != nil {
+		fmt.Printf("faults     %d injected: %s\n", out.FaultStats.Total(), out.FaultStats)
+		if out.History != nil {
+			fmt.Printf("hardening  samples dropped %d rejected %d clamped %d; failed swaps %d; watchdog trips %d\n",
+				out.Sanitized.Dropped, out.Sanitized.Rejected, out.Sanitized.Clamped,
+				out.FailedSwaps, out.WatchdogTrips)
+		}
 	}
 	if *traceFlag != "" && out.Trace != nil {
 		f, err := os.Create(*traceFlag)

@@ -39,8 +39,7 @@ func main() {
 		Seed: *seedFlag, SweepScale: *scaleFlag, Workers: *workerFlag,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	// Locate maxima.

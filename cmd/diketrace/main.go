@@ -140,7 +140,3 @@ func summarize(args []string) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
-}

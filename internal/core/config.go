@@ -170,12 +170,30 @@ func validQuanta(q sim.Time) bool {
 	return false
 }
 
-// quantaIndex returns q's index in QuantaLevels; q must be valid.
-func quantaIndex(q sim.Time) int {
+// quantaIndex returns q's index in QuantaLevels and whether q is one of
+// the valid levels.
+func quantaIndex(q sim.Time) (int, bool) {
 	for i, l := range QuantaLevels {
 		if q == l {
-			return i
+			return i, true
 		}
 	}
-	panic(fmt.Sprintf("core: invalid quanta length %d", q))
+	return 0, false
+}
+
+// nearestQuantaIndex returns the index of the valid level closest to q,
+// preferring the shorter level on ties. It lets the Optimizer self-heal
+// from an out-of-set quantum length instead of panicking.
+func nearestQuantaIndex(q sim.Time) int {
+	best, bestDist := 0, sim.Time(-1)
+	for i, l := range QuantaLevels {
+		d := q - l
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
 }

@@ -65,16 +65,28 @@ func TestConfigValidation(t *testing.T) {
 
 func TestQuantaIndex(t *testing.T) {
 	for i, q := range QuantaLevels {
-		if quantaIndex(q) != i {
-			t.Errorf("quantaIndex(%d) = %d, want %d", q, quantaIndex(q), i)
+		got, ok := quantaIndex(q)
+		if !ok || got != i {
+			t.Errorf("quantaIndex(%d) = %d,%v, want %d,true", q, got, ok, i)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid quanta did not panic")
+	if _, ok := quantaIndex(sim.Time(123)); ok {
+		t.Error("invalid quanta reported as valid")
+	}
+}
+
+func TestNearestQuantaIndex(t *testing.T) {
+	cases := []struct {
+		q    sim.Time
+		want int
+	}{
+		{0, 0}, {100, 0}, {123, 0}, {180, 1}, {400, 2}, {999, 3}, {5000, 3},
+	}
+	for _, c := range cases {
+		if got := nearestQuantaIndex(c.q); got != c.want {
+			t.Errorf("nearestQuantaIndex(%d) = %d, want %d", c.q, got, c.want)
 		}
-	}()
-	quantaIndex(sim.Time(123))
+	}
 }
 
 func TestGoalString(t *testing.T) {

@@ -77,23 +77,71 @@ func (d *Decider) Committed(pair Pair, q int) {
 // affinities (§III-E): no third core is used, and the order of the two
 // migrations is immaterial, so Swap applies both atomically at the
 // quantum boundary.
+//
+// Affinity changes on a faulty platform can be silently lost, so the
+// Migrator verifies after each swap that both threads actually landed on
+// their destination cores. A swap that did not fully take is rolled
+// back (any half-applied move is undone, best-effort) and left
+// un-committed in the Decider's bookkeeping, so the cool-down does not
+// block the pair from being retried in a later quantum.
 type Migrator struct {
 	m *machine.Machine
+	// failed counts swaps that did not take effect and were rolled back.
+	failed int
 }
 
 // NewMigrator returns a migrator over m.
 func NewMigrator(m *machine.Machine) *Migrator { return &Migrator{m: m} }
 
-// Apply performs the swaps in preds at time now, recording them with d
-// at quantum index q. It returns how many swaps were executed.
-func (mg *Migrator) Apply(preds []Prediction, d *Decider, q int, now sim.Time) int {
+// FailedSwaps returns how many accepted swaps did not take effect.
+func (mg *Migrator) FailedSwaps() int { return mg.failed }
+
+// Apply performs the swaps in preds at time now, recording with d (at
+// quantum index q) only the swaps verified to have taken effect. It
+// returns how many swaps were executed and verified.
+func (mg *Migrator) Apply(preds []Prediction, d *Decider, q int, now sim.Time) (int, error) {
 	n := 0
 	for _, p := range preds {
-		if err := mg.m.Swap(p.Pair.Low, p.Pair.High, now); err != nil {
-			panic(err)
+		lo, hi := p.Pair.Low, p.Pair.High
+		cl, err := mg.m.CoreOf(lo)
+		if err != nil {
+			return n, err
 		}
-		d.Committed(p.Pair, q)
-		n++
+		ch, err := mg.m.CoreOf(hi)
+		if err != nil {
+			return n, err
+		}
+		if err := mg.m.Swap(lo, hi, now); err != nil {
+			return n, err
+		}
+		nl, err := mg.m.CoreOf(lo)
+		if err != nil {
+			return n, err
+		}
+		nh, err := mg.m.CoreOf(hi)
+		if err != nil {
+			return n, err
+		}
+		if (nl == ch && nh == cl) || cl == ch {
+			d.Committed(p.Pair, q)
+			n++
+			continue
+		}
+		// The swap did not fully take. Undo any half-applied move so the
+		// pair is not left split across an unintended placement; the
+		// rollback migrations may themselves fail silently, in which case
+		// the next quantum's observation sees the true placement anyway.
+		mg.failed++
+		if nl != cl {
+			if err := mg.m.Migrate(lo, cl, now); err != nil {
+				return n, err
+			}
+		}
+		if nh != ch {
+			if err := mg.m.Migrate(hi, ch, now); err != nil {
+				return n, err
+			}
+		}
 	}
-	return n
+	return n, nil
 }

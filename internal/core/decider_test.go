@@ -104,9 +104,15 @@ func TestMigratorAppliesSwaps(t *testing.T) {
 	m.Place(1, slow)
 	mg := NewMigrator(m)
 	d := NewDecider()
-	n := mg.Apply(preds(Prediction{Pair: Pair{Low: 0, High: 1}, Total: 1}), d, 3, sim.Time(0))
+	n, err := mg.Apply(preds(Prediction{Pair: Pair{Low: 0, High: 1}, Total: 1}), d, 3, sim.Time(0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 1 {
 		t.Fatalf("applied %d swaps, want 1", n)
+	}
+	if mg.FailedSwaps() != 0 {
+		t.Errorf("FailedSwaps = %d, want 0", mg.FailedSwaps())
 	}
 	c0, _ := m.CoreOf(0)
 	c1, _ := m.CoreOf(1)

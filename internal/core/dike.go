@@ -38,7 +38,25 @@ type Dike struct {
 	series   []ErrPoint
 
 	history []QuantumRecord
+
+	// Watchdog state: fairness-collapse detection with revert to the
+	// last-known-good ⟨swapSize, quantaLength⟩ pair.
+	wdPrev    float64
+	wdHave    bool
+	wdBad     int
+	lkgSwap   int
+	lkgQuanta sim.Time
+	wdTrips   int
 }
+
+// Watchdog tuning: the gate value must grow by more than watchdogEps
+// relative to the previous quantum for watchdogK consecutive quanta
+// (all above the fairness threshold) before the watchdog declares a
+// fairness collapse and reverts the scheduling parameters.
+const (
+	watchdogK   = 5
+	watchdogEps = 0.02
+)
 
 // ErrPoint is one quantum's mean prediction error (Fig 8's series).
 type ErrPoint struct {
@@ -58,6 +76,9 @@ type QuantumRecord struct {
 	Accepted   int // pairs surviving the Decider
 	MemThreads int
 	Alive      int
+	// Held counts threads whose counter reading was dropped or rejected
+	// this quantum and whose rate is the held last-good value.
+	Held int
 }
 
 // errFloor and errClamp bound the per-quantum relative prediction error:
@@ -115,6 +136,8 @@ func New(m *machine.Machine, cfg Config) (*Dike, error) {
 	if cfg.Goal != AdaptNone {
 		d.opt = NewOptimizer(cfg.Goal, cfg.SwapSize, cfg.QuantaLength, true)
 	}
+	// The validated starting configuration is the first last-known-good.
+	d.lkgSwap, d.lkgQuanta = cfg.SwapSize, cfg.QuantaLength
 	return d, nil
 }
 
@@ -153,23 +176,40 @@ func (d *Dike) Decider() *Decider { return d.dec }
 // History returns the per-quantum decision records.
 func (d *Dike) History() []QuantumRecord { return d.history }
 
+// WatchdogTrips returns how many times the fairness watchdog reverted
+// the scheduler's parameters to the last-known-good pair.
+func (d *Dike) WatchdogTrips() int { return d.wdTrips }
+
+// FailedSwaps returns how many accepted swaps did not take effect on
+// the machine (silently dropped migrations, detected and rolled back).
+func (d *Dike) FailedSwaps() int { return d.mig.FailedSwaps() }
+
+// SanitizedTotal returns the run totals of counter readings the
+// Observer dropped, rejected or clamped.
+func (d *Dike) SanitizedTotal() SanitizeStats { return d.obs.SanitizedTotal() }
+
 // Quantum implements sched.Policy: one pass of the Figure 3 pipeline.
-func (d *Dike) Quantum(now sim.Time) {
+func (d *Dike) Quantum(now sim.Time) error {
 	if !d.placed {
 		if err := sched.SpreadPlacement(d.m, d.cfg.PlacementSeed); err != nil {
-			panic(err)
+			return err
 		}
 		d.placed = true
-		d.obs.Observe(now) // establish counter baseline; no decisions yet
-		return
+		// Establish the counter baseline; no decisions yet.
+		_, err := d.obs.Observe(now)
+		return err
 	}
 
-	obs := d.obs.Observe(now)
+	obs, err := d.obs.Observe(now)
+	if err != nil {
+		return err
+	}
 	if obs.Sample.Interval <= 0 || len(obs.Alive) == 0 {
-		return
+		return nil
 	}
 	d.quantumIdx++
 	d.recordErrors(obs)
+	d.watchdog(obs)
 
 	// Adaptation (Optimizer), every AdaptEvery quanta.
 	if d.opt != nil && d.quantumIdx%d.cfg.AdaptEvery == 0 {
@@ -188,6 +228,7 @@ func (d *Dike) Quantum(now sim.Time) {
 		Quanta:     d.quanta,
 		MemThreads: obs.MemoryThreads(),
 		Alive:      len(obs.Alive),
+		Held:       len(obs.Held),
 	}
 
 	// Default prediction: threads that stay put keep their access rate.
@@ -216,7 +257,9 @@ func (d *Dike) Quantum(now sim.Time) {
 		d.dec.SetQuanta(d.quanta)
 		accepted := d.dec.Filter(preds, d.quantumIdx)
 		rec.Accepted = len(accepted)
-		d.mig.Apply(accepted, d.dec, d.quantumIdx, now)
+		if _, err := d.mig.Apply(accepted, d.dec, d.quantumIdx, now); err != nil {
+			return err
+		}
 		// Swapped threads are predicted to take over their destination
 		// core's bandwidth (Eqn 1's model).
 		for _, p := range accepted {
@@ -226,10 +269,51 @@ func (d *Dike) Quantum(now sim.Time) {
 	}
 	d.predNext = next
 	d.history = append(d.history, rec)
+	return nil
+}
+
+// watchdog tracks the fairness gate across quanta. While the system is
+// fair it records the current parameters as last-known-good; when the
+// gate diverges — grows by more than watchdogEps per quantum for
+// watchdogK consecutive quanta — it reverts ⟨swapSize, quantaLength⟩ to
+// the recorded pair. Adaptive retuning gone wrong (or faults corrupting
+// the adaptation inputs) is thereby bounded: the scheduler falls back
+// to a configuration that demonstrably kept the system fair.
+func (d *Dike) watchdog(obs *Observation) {
+	if obs.Fairness < d.cfg.FairnessThreshold {
+		// Healthy. Remember what got us here.
+		d.lkgSwap, d.lkgQuanta = d.swapSize, d.quanta
+		d.wdBad = 0
+		d.wdHave = false
+		return
+	}
+	if d.wdHave && obs.Fairness > d.wdPrev*(1+watchdogEps) {
+		d.wdBad++
+	} else {
+		d.wdBad = 0
+	}
+	d.wdPrev = obs.Fairness
+	d.wdHave = true
+	if d.wdBad < watchdogK {
+		return
+	}
+	// Fairness collapse: revert to the last-known-good parameters.
+	d.wdTrips++
+	d.wdBad = 0
+	d.wdHave = false
+	if d.opt != nil {
+		d.opt.ForceParams(d.lkgSwap, d.lkgQuanta)
+		d.swapSize, d.quanta = d.opt.Params()
+	} else {
+		d.swapSize, d.quanta = d.lkgSwap, d.lkgQuanta
+	}
 }
 
 // recordErrors folds this quantum's measured rates against the previous
-// quantum's predictions.
+// quantum's predictions. Threads whose reading was dropped or rejected
+// this quantum (obs.Held) are skipped: their Rate is a held estimate,
+// not a measurement, and scoring the predictor against it — or letting
+// it learn from it — would poison the accuracy statistics with garbage.
 func (d *Dike) recordErrors(obs *Observation) {
 	if len(d.predNext) == 0 {
 		return
@@ -237,7 +321,7 @@ func (d *Dike) recordErrors(obs *Observation) {
 	sum, n := 0.0, 0
 	for _, id := range obs.Alive {
 		pred, ok := d.predNext[id]
-		if !ok {
+		if !ok || obs.Held[id] {
 			continue
 		}
 		actual := obs.Rate[id]

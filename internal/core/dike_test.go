@@ -172,7 +172,10 @@ type frozenPolicy struct {
 
 func (f frozenPolicy) Name() string           { return "frozen" }
 func (f frozenPolicy) QuantaLength() sim.Time { return 1000 }
-func (f frozenPolicy) Quantum(now sim.Time)   { placeOnce(f.m, now) }
+func (f frozenPolicy) Quantum(now sim.Time) error {
+	placeOnce(f.m, now)
+	return nil
+}
 
 var placedMachines = map[*machine.Machine]bool{}
 

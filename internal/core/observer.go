@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"dike/internal/machine"
@@ -70,6 +71,14 @@ type Observation struct {
 	// HighBW marks cores in the higher-capability half of the occupied
 	// cores (the Observer's "core identification").
 	HighBW map[machine.CoreID]bool
+	// Held marks threads whose counter reading this quantum was missing
+	// or rejected by sanitization; their Rate is the held last-good
+	// estimate (zero once the estimate is too stale to trust). Consumers
+	// must not treat held rates as fresh feedback — the Predictor's
+	// error bookkeeping and the capability estimator both skip them.
+	Held map[machine.ThreadID]bool
+	// Sanitized counts this quantum's counter-sanitization actions.
+	Sanitized SanitizeStats
 	// SystemCV is the coefficient of variation of all alive threads'
 	// access rates, for diagnostics.
 	SystemCV float64
@@ -107,8 +116,32 @@ func (o *Observation) PredictRate(id machine.ThreadID, c machine.CoreID) float64
 	return o.Capability[c] * o.Baseline[id]
 }
 
+// SanitizeStats counts the Observer's counter-sanitization actions:
+// what a hostile PMU fed it and what it did about it.
+type SanitizeStats struct {
+	// Dropped counts samples that were missing entirely (read lost).
+	Dropped int
+	// Rejected counts NaN/Inf/negative readings thrown away.
+	Rejected int
+	// Clamped counts finite readings capped at physical capacity.
+	Clamped int
+}
+
+// add accumulates other into s.
+func (s *SanitizeStats) add(other SanitizeStats) {
+	s.Dropped += other.Dropped
+	s.Rejected += other.Rejected
+	s.Clamped += other.Clamped
+}
+
 // baselineAlpha is the EWMA weight for the per-process demand baseline.
 const baselineAlpha = 0.3
+
+// maxStaleQuanta bounds hold-last-good: a thread whose readings have
+// been missing or garbage for more than this many consecutive quanta
+// stops contributing its stale estimate (its rate reads zero and it is
+// excluded from baseline updates) until a good sample arrives.
+const maxStaleQuanta = 3
 
 // minBaseline is the smallest process-mean access rate considered
 // informative for capability estimation; below it the occupant reveals
@@ -127,13 +160,23 @@ type Observer struct {
 	// useIPC switches the contention metric from memory access rate to
 	// instructions per ms (ablation only; see Config.UseIPCMetric).
 	useIPC bool
-	coreBW []*stats.MovingMean
-	capab  []*stats.MovingMean
-	class  map[machine.ThreadID]ThreadClass
+	// capacity is the controller's physical service capacity; no sane
+	// per-thread rate can exceed it, so saturated readings clamp here.
+	capacity float64
+	coreBW   []*stats.MovingMean
+	capab    []*stats.MovingMean
+	class    map[machine.ThreadID]ThreadClass
 	// procBase smooths each process's mean access rate across quanta so
 	// that a single burst quantum does not fling a whole process across
 	// the placement boundary and back (burst-chasing churn).
 	procBase map[int]*stats.MovingMean
+	// lastRate/staleFor implement hold-last-good: the last sane measured
+	// rate per thread, and for how many consecutive quanta the thread's
+	// reading has been missing or rejected.
+	lastRate map[machine.ThreadID]float64
+	staleFor map[machine.ThreadID]int
+	// sanitized accumulates sanitizer actions over the run.
+	sanitized SanitizeStats
 }
 
 // NewObserver builds an observer over m. alpha is the EWMA weight for
@@ -156,17 +199,32 @@ func newObserver(m *machine.Machine, alpha, missTh float64, useIPC bool) *Observ
 		sampler:  sched.NewSampler(m),
 		missTh:   missTh,
 		useIPC:   useIPC,
+		capacity: m.Config().MemCapacity,
 		coreBW:   bw,
 		capab:    cp,
 		class:    make(map[machine.ThreadID]ThreadClass),
 		procBase: make(map[int]*stats.MovingMean),
+		lastRate: make(map[machine.ThreadID]float64),
+		staleFor: make(map[machine.ThreadID]int),
 	}
 }
+
+// SanitizedTotal returns the sanitizer action counts accumulated over
+// the run so far.
+func (o *Observer) SanitizedTotal() SanitizeStats { return o.sanitized }
 
 // Observe samples the counters at time now and derives the quantum's
 // Observation. The first call of a run yields Interval 0 and no rates;
 // Dike skips scheduling on it.
-func (o *Observer) Observe(now sim.Time) *Observation {
+//
+// Readings are sanitized on the way in: samples that are missing
+// (counter read lost) or physically implausible (NaN, ±Inf, negative)
+// are rejected and the thread's last sane rate is held in their place,
+// up to maxStaleQuanta; finite rates beyond the memory controller's
+// service capacity are clamped to it. Held threads are marked in
+// Observation.Held and excluded from the capability and baseline
+// estimators so garbage never enters the closed loop.
+func (o *Observer) Observe(now sim.Time) (*Observation, error) {
 	sample := o.sampler.Sample(now)
 	alive := o.m.Alive()
 	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
@@ -181,37 +239,70 @@ func (o *Observer) Observe(now sim.Time) *Observation {
 		Instr:    make(map[machine.ThreadID]float64, len(alive)),
 		CoreOf:   make(map[machine.ThreadID]machine.CoreID, len(alive)),
 		Proc:     make(map[machine.ThreadID]int, len(alive)),
+		Held:     make(map[machine.ThreadID]bool),
 		HighBW:   make(map[machine.CoreID]bool),
 	}
 
 	rates := make([]float64, 0, len(alive))
 	byProc := make(map[int][]float64)
 	for _, id := range alive {
-		delta := sample.Threads[id]
-		rate := delta.AccessRate()
-		if o.useIPC {
-			// Ablation: rank, gate and predict on IPC instead. Scaled
-			// down so magnitudes are comparable to access rates.
-			rate = delta.IPS() / 1000
+		delta, sampled := sample.Threads[id]
+		good := sampled && delta.Sane()
+		var rate float64
+		if good {
+			rate = delta.AccessRate()
+			if o.useIPC {
+				// Ablation: rank, gate and predict on IPC instead. Scaled
+				// down so magnitudes are comparable to access rates.
+				rate = delta.IPS() / 1000
+			} else if rate > o.capacity {
+				// A thread cannot miss faster than the controller serves:
+				// the reading is saturated. Clamp rather than reject — the
+				// direction ("very memory hungry") is still informative.
+				rate = o.capacity
+				obs.Sanitized.Clamped++
+			}
+		}
+		if sample.Interval > 0 && !good {
+			if !sampled {
+				obs.Sanitized.Dropped++
+			} else {
+				obs.Sanitized.Rejected++
+			}
+			o.staleFor[id]++
+			if o.staleFor[id] <= maxStaleQuanta {
+				// Hold-last-good: the thread keeps its last sane rate.
+				rate = o.lastRate[id]
+			}
+			obs.Held[id] = true
+		} else if good {
+			o.staleFor[id] = 0
+			o.lastRate[id] = rate
 		}
 		obs.Rate[id] = rate
 		rates = append(rates, rate)
 		obs.Instr[id] = o.m.Counters().Thread(int(id)).Instructions
 		core, err := o.m.CoreOf(id)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("core: observing thread %d: %w", id, err)
 		}
 		obs.CoreOf[id] = core
 		proc, err := o.m.BenchOf(id)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("core: observing thread %d: %w", id, err)
 		}
 		obs.Proc[id] = proc
-		byProc[proc] = append(byProc[proc], rate)
+		// A thread held beyond the staleness bound contributes nothing to
+		// its process's demand estimate: its zero rate is absence of
+		// information, not measured idleness.
+		if !obs.Held[id] || o.staleFor[id] <= maxStaleQuanta {
+			byProc[proc] = append(byProc[proc], rate)
+		}
 
 		// Reclassify only when the thread actually issued accesses this
-		// quantum; a thread stalled by a migration keeps its old class.
-		if delta.Accesses > 0 {
+		// quantum (and the reading survived sanitization); a thread
+		// stalled by a migration keeps its old class.
+		if good && delta.Accesses > 0 {
 			if delta.MissRatio() > o.missTh {
 				o.class[id] = MemoryClass
 			} else {
@@ -220,6 +311,7 @@ func (o *Observer) Observe(now sim.Time) *Observation {
 		}
 		obs.Class[id] = o.class[id]
 	}
+	o.sanitized.add(obs.Sanitized)
 	obs.SystemCV = stats.CV(rates)
 	procMean := make(map[int]float64, len(byProc))
 	for p, rs := range byProc {
@@ -244,12 +336,27 @@ func (o *Observer) Observe(now sim.Time) *Observation {
 
 	// Fold this quantum's measurements into the per-core estimates:
 	// served bandwidth (raw CoreBW) and relative capability (occupant
-	// rate over its process baseline).
+	// rate over its process baseline). Held threads reveal nothing about
+	// their core this quantum, so they are skipped; insane or saturated
+	// uncore readings are rejected or clamped like thread readings.
 	if sample.Interval > 0 {
 		for c := range o.coreBW {
-			o.coreBW[c].Add(sample.Cores[c].Bandwidth())
+			cd := sample.Cores[c]
+			if !cd.Sane() {
+				obs.Sanitized.Rejected++
+				o.sanitized.Rejected++
+				continue
+			}
+			bw := cd.Bandwidth()
+			if bw > o.capacity {
+				bw = o.capacity
+			}
+			o.coreBW[c].Add(bw)
 		}
 		for _, id := range alive {
+			if obs.Held[id] {
+				continue
+			}
 			base := obs.Baseline[id]
 			if base < minBaseline {
 				continue
@@ -290,7 +397,7 @@ func (o *Observer) Observe(now sim.Time) *Observation {
 			}
 		}
 	}
-	return obs
+	return obs, nil
 }
 
 // CoreBW returns the current raw moving-mean served bandwidth of core c.

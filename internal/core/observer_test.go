@@ -44,13 +44,22 @@ func observeAfter(t *testing.T, m *machine.Machine, o *Observer, from, to sim.Ti
 	for now := from; now < to; now++ {
 		m.Step(now, 1)
 	}
-	return o.Observe(to)
+	return mustObserve(t, o, to)
+}
+
+func mustObserve(t *testing.T, o *Observer, now sim.Time) *Observation {
+	t.Helper()
+	obs, err := o.Observe(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
 }
 
 func TestObserverClassification(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	for i := 0; i < 8; i++ {
 		if obs.Class[machine.ThreadID(i)] != MemoryClass {
@@ -70,7 +79,7 @@ func TestObserverClassification(t *testing.T) {
 func TestObserverCapabilityIdentifiesFastCores(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	var obs *Observation
 	last := sim.Time(0)
 	for q := 1; q <= 6; q++ {
@@ -108,7 +117,7 @@ func TestObserverCapabilityIdentifiesFastCores(t *testing.T) {
 func TestObserverBaselinePerProcess(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	// All threads of one process share a baseline.
 	b0 := obs.Baseline[0]
@@ -126,7 +135,7 @@ func TestObserverBaselinePerProcess(t *testing.T) {
 func TestObserverFairnessGate(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	// Threads of each process straddle fast/slow cores: rates within a
 	// process differ, so the gate must read unfair.
@@ -144,7 +153,7 @@ func TestObserverFairnessGate(t *testing.T) {
 func TestObserverFirstSampleInert(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	obs := o.Observe(0)
+	obs := mustObserve(t, o, 0)
 	if obs.Sample.Interval != 0 {
 		t.Error("first sample has a nonzero interval")
 	}
@@ -158,7 +167,7 @@ func TestObserverFirstSampleInert(t *testing.T) {
 func TestObserverStalledThreadKeepsClass(t *testing.T) {
 	m := twoClassMachine(t)
 	o := NewObserver(m, 0.25, 0.10)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	if obs.Class[0] != MemoryClass {
 		t.Fatal("setup: thread 0 should be M")
@@ -173,7 +182,7 @@ func TestObserverStalledThreadKeepsClass(t *testing.T) {
 	}
 	// Observe a window shorter than the stall.
 	m.Step(500, 1)
-	obs = o.Observe(502)
+	obs = mustObserve(t, o, 502)
 	if obs.Class[0] != MemoryClass {
 		t.Error("stalled thread lost its classification")
 	}
@@ -191,7 +200,7 @@ func TestObserverGetters(t *testing.T) {
 	if o.Capability(0) != 1 {
 		t.Errorf("Capability before samples = %v", o.Capability(0))
 	}
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	observeAfter(t, m, o, 0, 500)
 	// A core hosting a memory thread now reports served bandwidth.
 	core, _ := m.CoreOf(0)
@@ -206,7 +215,7 @@ func TestObserverGetters(t *testing.T) {
 func TestObserverIPCMetric(t *testing.T) {
 	m := twoClassMachine(t)
 	o := newObserver(m, 0.25, 0.10, true)
-	o.Observe(0)
+	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	// Under IPC, compute threads score HIGHER than memory threads — the
 	// inversion the paper warns about.

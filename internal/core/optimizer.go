@@ -162,6 +162,38 @@ func (o *Optimizer) Step(obs *Observation, fairness, theta, goalMetric float64) 
 	o.stepped = o.swapSize != o.lastSwap || o.quanta != o.lastQuanta
 }
 
+// ForceParams overrides the current ⟨swapSize, quantaLength⟩ — the
+// watchdog's revert-to-last-known-good hook. Out-of-range values are
+// snapped into the valid parameter space. The optimizer's guard state is
+// reset and stepping is held for a few invocations so the restored
+// configuration gets a fair observation window before adaptation
+// resumes.
+func (o *Optimizer) ForceParams(swap int, q sim.Time) {
+	if swap < MinSwapSize {
+		swap = MinSwapSize
+	}
+	if swap > MaxSwapSize {
+		swap = MaxSwapSize
+	}
+	if swap%2 != 0 {
+		swap--
+	}
+	o.swapSize = swap
+	o.quanta = QuantaLevels[o.quantaIdx(q)]
+	o.stepped = false
+	o.havePrev = false
+	o.holdUntil = o.calls + 3
+}
+
+// quantaIdx is quantaIndex with self-healing: an out-of-set length snaps
+// to the nearest valid level rather than panicking mid-run.
+func (o *Optimizer) quantaIdx(q sim.Time) int {
+	if i, ok := quantaIndex(q); ok {
+		return i
+	}
+	return nearestQuantaIndex(q)
+}
+
 // incSwap raises swapSize one level, capped at MaxSwapSize.
 func (o *Optimizer) incSwap() {
 	if o.swapSize+2 <= MaxSwapSize {
@@ -171,7 +203,7 @@ func (o *Optimizer) incSwap() {
 
 // decQuanta lowers quantaLength one level, flooring at `floor`.
 func (o *Optimizer) decQuanta(floor sim.Time) {
-	i := quantaIndex(o.quanta)
+	i := o.quantaIdx(o.quanta)
 	if i > 0 && QuantaLevels[i-1] >= floor {
 		o.quanta = QuantaLevels[i-1]
 	}
@@ -179,7 +211,7 @@ func (o *Optimizer) decQuanta(floor sim.Time) {
 
 // incQuanta raises quantaLength one level, capped at `cap`.
 func (o *Optimizer) incQuanta(capT sim.Time) {
-	i := quantaIndex(o.quanta)
+	i := o.quantaIdx(o.quanta)
 	if i < len(QuantaLevels)-1 && QuantaLevels[i+1] <= capT {
 		o.quanta = QuantaLevels[i+1]
 	}

@@ -10,7 +10,10 @@
 // as a sampling profiler would.
 package counters
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ThreadCounters is the cumulative counter block for one thread.
 type ThreadCounters struct {
@@ -111,6 +114,20 @@ func (d ThreadDelta) AccessRate() float64 {
 	return d.Misses / d.Interval
 }
 
+// Sane reports whether the delta is physically plausible: all counter
+// fields finite and non-negative. Real PMUs glitch — reads race resets,
+// registers saturate, buggy drivers return garbage — so consumers must
+// gate on this before deriving rates; an insane delta carries no
+// information and should be treated as a missing sample.
+func (d ThreadDelta) Sane() bool {
+	for _, v := range [...]float64{d.Instructions, d.Accesses, d.Misses, d.Work} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // MissRatio returns misses/accesses over the interval (0 when the thread
 // performed no accesses). The paper classifies a thread as memory
 // intensive when this exceeds 10%.
@@ -139,6 +156,12 @@ func (f *File) DiffThread(tid int, prev ThreadCounters, interval float64) Thread
 type CoreDelta struct {
 	Interval     float64
 	ServedMisses float64
+}
+
+// Sane reports whether the core delta is physically plausible (finite,
+// non-negative). See ThreadDelta.Sane.
+func (d CoreDelta) Sane() bool {
+	return !math.IsNaN(d.ServedMisses) && !math.IsInf(d.ServedMisses, 0) && d.ServedMisses >= 0
 }
 
 // Bandwidth returns the achieved memory bandwidth (misses served per ms)

@@ -128,7 +128,7 @@ func TestTableRendering(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
-		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds",
+		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds", "faults",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2",
 	}
 	if len(ids) != len(want) {

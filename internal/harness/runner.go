@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dike/internal/core"
+	"dike/internal/fault"
 	"dike/internal/machine"
 	"dike/internal/metrics"
 	"dike/internal/sched"
@@ -59,6 +60,10 @@ type RunSpec struct {
 	MaxTime sim.Time
 	// TraceEvery, if positive, samples a RunTrace at that period (ms).
 	TraceEvery sim.Time
+	// Faults, if non-nil, attaches a fault injector to the machine with
+	// this configuration. The injector is deterministic in its seed, so
+	// two runs with identical specs see the identical fault schedule.
+	Faults *fault.Config
 }
 
 // RunOutput bundles a finished run's metrics and, for Dike runs, the
@@ -77,6 +82,15 @@ type RunOutput struct {
 	CompletedAt sim.Time
 	// Trace holds the sampled time series when RunSpec.TraceEvery > 0.
 	Trace *RunTrace
+	// FaultStats counts the faults actually injected (nil without Faults).
+	FaultStats *fault.Stats
+	// WatchdogTrips / FailedSwaps / Sanitized report Dike's degradation
+	// bookkeeping: last-known-good reverts, swaps that silently failed
+	// and were rolled back, and counter readings dropped/rejected/clamped
+	// by the Observer. Zero for non-Dike policies.
+	WatchdogTrips int
+	FailedSwaps   int
+	Sanitized     core.SanitizeStats
 }
 
 // Run executes one simulation to completion.
@@ -95,6 +109,14 @@ func Run(spec RunSpec) (*RunOutput, error) {
 	inst, err := spec.Workload.Build(m, workload.BuildOptions{Seed: spec.Seed, Scale: spec.Scale})
 	if err != nil {
 		return nil, err
+	}
+	var inj *fault.Injector
+	if spec.Faults != nil {
+		inj, err = fault.NewInjector(*spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		m.SetDisruptor(inj)
 	}
 
 	var policy sched.Policy
@@ -153,7 +175,7 @@ func Run(spec RunSpec) (*RunOutput, error) {
 	}
 	var rt *RunTrace
 	if spec.TraceEvery > 0 {
-		rt = attachTrace(engine, m, inst, spec.TraceEvery)
+		rt = attachTrace(engine, m, inst, spec.TraceEvery, inj)
 	}
 	done, err := engine.Run()
 	if err != nil {
@@ -165,10 +187,17 @@ func Run(spec RunSpec) (*RunOutput, error) {
 		return nil, err
 	}
 	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt}
+	if inj != nil {
+		st := inj.Stats()
+		out.FaultStats = &st
+	}
 	if dk != nil {
 		out.PredMin, out.PredAvg, out.PredMax = dk.PredictionStats().MinAvgMax()
 		out.ErrSeries = dk.ErrorSeries()
 		out.History = dk.History()
+		out.WatchdogTrips = dk.WatchdogTrips()
+		out.FailedSwaps = dk.FailedSwaps()
+		out.Sanitized = dk.SanitizedTotal()
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"io"
 
+	"dike/internal/fault"
 	"dike/internal/machine"
 	"dike/internal/sim"
 	"dike/internal/stats"
@@ -23,16 +24,26 @@ type RunTrace struct {
 	// variation of their threads' progress fractions — a live proxy for
 	// the final Eqn 4 fairness (lower = fairer).
 	Dispersion *trace.Series
+	// Faults is the cumulative count of injected faults; nil when the run
+	// has no fault injector attached.
+	Faults *trace.Series
+
+	inj *fault.Injector
 }
 
-// newRunTrace allocates the series set.
-func newRunTrace() *RunTrace {
-	return &RunTrace{
+// newRunTrace allocates the series set. inj may be nil.
+func newRunTrace(inj *fault.Injector) *RunTrace {
+	rt := &RunTrace{
 		Utilization: trace.NewSeries("mem_util"),
 		Alive:       trace.NewSeries("alive_threads"),
 		Swaps:       trace.NewSeries("cumulative_swaps"),
 		Dispersion:  trace.NewSeries("progress_dispersion"),
+		inj:         inj,
 	}
+	if inj != nil {
+		rt.Faults = trace.NewSeries("cumulative_faults")
+	}
+	return rt
 }
 
 // sample records one point at time now.
@@ -41,6 +52,9 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 	rt.Utilization.Add(t, m.Utilization())
 	rt.Alive.Add(t, float64(len(m.Alive())))
 	rt.Swaps.Add(t, float64(m.SwapCount()))
+	if rt.Faults != nil {
+		rt.Faults.Add(t, float64(rt.inj.Stats().Total()))
+	}
 
 	cvSum, n := 0.0, 0
 	for bi, b := range inst.Workload.Benchmarks {
@@ -61,13 +75,17 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 
 // WriteCSV exports all trace series in wide form.
 func (rt *RunTrace) WriteCSV(w io.Writer) error {
-	return trace.WriteWideCSV(w, rt.Utilization, rt.Alive, rt.Swaps, rt.Dispersion)
+	series := []*trace.Series{rt.Utilization, rt.Alive, rt.Swaps, rt.Dispersion}
+	if rt.Faults != nil {
+		series = append(series, rt.Faults)
+	}
+	return trace.WriteWideCSV(w, series...)
 }
 
 // attachTrace hooks a RunTrace onto the engine at the given sample
-// period.
-func attachTrace(engine *sim.Engine, m *machine.Machine, inst *workload.Instance, every sim.Time) *RunTrace {
-	rt := newRunTrace()
+// period. inj may be nil (no fault series).
+func attachTrace(engine *sim.Engine, m *machine.Machine, inst *workload.Instance, every sim.Time, inj *fault.Injector) *RunTrace {
+	rt := newRunTrace(inj)
 	var last sim.Time = -every
 	engine.OnTick(func(now sim.Time) {
 		if now-last >= every {

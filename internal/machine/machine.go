@@ -170,6 +170,34 @@ func (g *barrierGroup) limit(t *thread, now sim.Time) float64 {
 	return (minSeg + 1) * g.interval
 }
 
+// Disruptor injects hardware-level faults into a running machine: core
+// frequency faults and offlining, silent migration failures, thread
+// stalls and crashes, and perturbed counter readings. The machine (and
+// the counter sampler) consult it at well-defined points; a nil
+// disruptor means a perfectly healthy platform. Implementations must be
+// deterministic functions of their own seed and the query arguments so
+// runs stay reproducible (the fault package provides one).
+type Disruptor interface {
+	// CoreFactor returns the speed multiplier for core c at time now:
+	// 1 = healthy, in (0,1) = thermally throttled, 0 = offline (threads
+	// bound to the core make no progress until it recovers).
+	CoreFactor(c CoreID, now sim.Time) float64
+	// MigrationFails reports whether a migration of id to core `to`
+	// requested at now silently fails: the affinity change is dropped
+	// and no error surfaces, exactly like a lost IPI on real hardware.
+	MigrationFails(id ThreadID, to CoreID, now sim.Time) bool
+	// ThreadFault reports whether id is stalled (descheduled, making no
+	// progress) or crashes (terminates with its work incomplete) during
+	// the tick beginning at now. The crash answer must be stable for all
+	// of now's fault window so repeated per-tick queries are idempotent.
+	ThreadFault(id ThreadID, now sim.Time) (stalled, crashed bool)
+	// PerturbDelta perturbs a per-thread counter delta as it is sampled:
+	// it may return a corrupted copy (NaN/Inf/negative/saturated
+	// readings), or ok=false to drop the sample entirely (the reading
+	// was lost).
+	PerturbDelta(id ThreadID, now sim.Time, d counters.ThreadDelta) (_ counters.ThreadDelta, ok bool)
+}
+
 // Machine is the simulated heterogeneous multicore. It implements
 // sim.World. It is not safe for concurrent use; run one Machine per
 // goroutine.
@@ -184,10 +212,14 @@ type Machine struct {
 	order   []ThreadID // deterministic iteration order
 	groups  []*barrierGroup
 
-	swaps      int
-	migrations int
-	lastUtil   float64  // controller utilisation at the end of the last step
-	lastNow    sim.Time // time at the end of the last Step (for arrival checks)
+	disruptor Disruptor
+
+	swaps       int
+	migrations  int
+	migFailures int // migrations silently dropped by the disruptor
+	crashes     int // threads terminated by injected crashes
+	lastUtil    float64  // controller utilisation at the end of the last step
+	lastNow     sim.Time // time at the end of the last Step (for arrival checks)
 
 	// scratch buffers reused across Step calls to avoid per-tick allocs.
 	scratchT     []*thread
@@ -230,6 +262,15 @@ func MustNew(cfg Config) *Machine {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetDisruptor attaches a fault injector (nil detaches). Call before the
+// simulation starts; swapping mid-run is allowed but makes runs depend
+// on when the swap happened.
+func (m *Machine) SetDisruptor(d Disruptor) { m.disruptor = d }
+
+// Disruptor returns the attached fault injector, or nil. The counter
+// sampler uses it to perturb readings on their way to schedulers.
+func (m *Machine) Disruptor() Disruptor { return m.disruptor }
 
 // Topology returns the machine's core topology.
 func (m *Machine) Topology() *Topology { return m.topo }
@@ -337,6 +378,13 @@ func (m *Machine) Migrate(id ThreadID, core CoreID, now sim.Time) error {
 	if t.core == core {
 		return nil
 	}
+	if m.disruptor != nil && m.disruptor.MigrationFails(id, core, now) {
+		// The affinity change is silently lost: the thread stays where it
+		// was and no error surfaces. Schedulers that care must verify the
+		// move took effect (core.Migrator does).
+		m.migFailures++
+		return nil
+	}
 	// Cross-socket moves (between the fast and slow pools) strand the
 	// thread's pages on the remote NUMA node: a large, slowly-decaying
 	// miss penalty. Same-socket moves keep the shared LLC warm.
@@ -387,6 +435,26 @@ func (m *Machine) SwapCount() int { return m.swaps }
 
 // MigrationCount returns the number of individual thread migrations.
 func (m *Machine) MigrationCount() int { return m.migrations }
+
+// MigrationFailures returns how many migrations the disruptor silently
+// dropped.
+func (m *Machine) MigrationFailures() int { return m.migFailures }
+
+// CrashCount returns how many threads were terminated by injected
+// crashes.
+func (m *Machine) CrashCount() int { return m.crashes }
+
+// AliveCount implements sim.LiveCounter for horizon diagnostics.
+func (m *Machine) AliveCount() int {
+	n := 0
+	for _, id := range m.order {
+		t := m.threads[id]
+		if !t.finished && t.startAt <= m.lastNow {
+			n++
+		}
+	}
+	return n
+}
 
 // Utilization returns the memory controller utilisation measured during
 // the most recent Step.
@@ -533,8 +601,33 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 			m.file.MutThread(int(id)).StallTime += float64(dt)
 			continue
 		}
+		if m.disruptor != nil {
+			stalled, crashed := m.disruptor.ThreadFault(id, now)
+			if crashed {
+				// Injected crash: the thread terminates with its work
+				// incomplete, freeing its core.
+				t.finished = true
+				t.finishAt = now + dt
+				m.crashes++
+				continue
+			}
+			if stalled {
+				m.file.MutThread(int(id)).StallTime += float64(dt)
+				continue
+			}
+		}
 		core := m.topo.Core(t.core)
 		rate := core.Speed
+		if m.disruptor != nil {
+			factor := m.disruptor.CoreFactor(t.core, now)
+			if factor <= 0 {
+				// Core offline: the occupant cannot run until the core
+				// recovers or the scheduler moves the thread elsewhere.
+				m.file.MutThread(int(id)).StallTime += float64(dt)
+				continue
+			}
+			rate *= factor
+		}
 		if physBusy[core.Physical] > 1 {
 			rate *= m.cfg.SMTPenalty
 		}

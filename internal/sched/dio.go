@@ -43,22 +43,22 @@ func (d *DIO) Name() string { return "dio" }
 func (d *DIO) QuantaLength() sim.Time { return d.ql }
 
 // Quantum implements Policy.
-func (d *DIO) Quantum(now sim.Time) {
+func (d *DIO) Quantum(now sim.Time) error {
 	if !d.placed {
 		if err := SpreadPlacement(d.m, d.seed); err != nil {
-			panic(err)
+			return err
 		}
 		d.placed = true
 		d.sampler.Sample(now) // establish the counter baseline
-		return
+		return nil
 	}
 	sample := d.sampler.Sample(now)
 	if sample.Interval <= 0 {
-		return
+		return nil
 	}
 	alive := d.m.Alive()
 	if len(alive) < 2 {
-		return
+		return nil
 	}
 	// Sort by miss rate, highest first. Thread id breaks ties so the
 	// order — and therefore the whole run — is deterministic.
@@ -72,7 +72,5 @@ func (d *DIO) Quantum(now sim.Time) {
 		return sorted[i] < sorted[j]
 	})
 	// Swap the extreme pair: highest miss rate with lowest.
-	if err := d.m.Swap(sorted[0], sorted[len(sorted)-1], now); err != nil {
-		panic(err)
-	}
+	return d.m.Swap(sorted[0], sorted[len(sorted)-1], now)
 }

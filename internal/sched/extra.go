@@ -36,17 +36,17 @@ func (r *Rotate) Name() string { return "rotate" }
 func (r *Rotate) QuantaLength() sim.Time { return r.ql }
 
 // Quantum implements Policy.
-func (r *Rotate) Quantum(now sim.Time) {
+func (r *Rotate) Quantum(now sim.Time) error {
 	if !r.placed {
 		if err := SpreadPlacement(r.m, r.seed); err != nil {
-			panic(err)
+			return err
 		}
 		r.placed = true
-		return
+		return nil
 	}
 	alive := r.m.Alive()
 	if len(alive) < 2 {
-		return
+		return nil
 	}
 	// Order threads by their current core id and shift each to the next
 	// occupied core (a single cycle), so the set of occupied cores is
@@ -63,16 +63,17 @@ func (r *Rotate) Quantum(now sim.Time) {
 	for i, id := range alive {
 		c, err := r.m.CoreOf(id)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		cores[i] = c
 	}
 	for i, id := range alive {
 		dest := cores[(i+1)%len(cores)]
 		if err := r.m.Migrate(id, dest, now); err != nil {
-			panic(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // Static binds every thread to a fixed core chosen up front and never
@@ -104,16 +105,17 @@ func (s *Static) Name() string { return "static" }
 func (s *Static) QuantaLength() sim.Time { return 1000 }
 
 // Quantum implements Policy.
-func (s *Static) Quantum(sim.Time) {
+func (s *Static) Quantum(sim.Time) error {
 	if s.placed {
-		return
+		return nil
 	}
 	for id, core := range s.assignment {
 		if err := s.m.Place(id, core); err != nil {
-			panic(err)
+			return err
 		}
 	}
 	s.placed = true
+	return nil
 }
 
 // OracleAssignment builds the offline-knowledge placement: threads are

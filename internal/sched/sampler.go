@@ -60,10 +60,22 @@ func (s *Sampler) Sample(now sim.Time) *Sample {
 		Threads:  make(map[machine.ThreadID]counters.ThreadDelta),
 		Cores:    make([]counters.CoreDelta, file.NumCores()),
 	}
+	dis := s.m.Disruptor()
 	for _, tid := range s.m.Alive() {
 		prev := s.prevT[tid]
-		out.Threads[tid] = file.DiffThread(int(tid), prev, interval)
+		delta := file.DiffThread(int(tid), prev, interval)
 		s.prevT[tid] = file.Thread(int(tid))
+		if dis != nil && interval > 0 {
+			// Counter faults: the read may be lost (thread absent from the
+			// sample) or corrupted. The underlying cumulative counters are
+			// untouched, so a later successful read recovers.
+			d, ok := dis.PerturbDelta(tid, now, delta)
+			if !ok {
+				continue
+			}
+			delta = d
+		}
+		out.Threads[tid] = delta
 	}
 	for c := 0; c < file.NumCores(); c++ {
 		out.Cores[c] = file.DiffCore(c, s.prevC[c], interval)

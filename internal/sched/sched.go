@@ -107,13 +107,14 @@ func (c *CFS) Name() string { return "cfs" }
 func (c *CFS) QuantaLength() sim.Time { return c.ql }
 
 // Quantum implements Policy.
-func (c *CFS) Quantum(sim.Time) {
+func (c *CFS) Quantum(sim.Time) error {
 	if !c.placed {
 		if err := SpreadPlacement(c.m, c.seed); err != nil {
-			panic(err)
+			return err
 		}
 		c.placed = true
 	}
+	return nil
 }
 
 // Null is a policy that places threads once and never acts; standalone
@@ -134,11 +135,12 @@ func (n *Null) Name() string { return "null" }
 func (n *Null) QuantaLength() sim.Time { return 1000 }
 
 // Quantum implements Policy.
-func (n *Null) Quantum(sim.Time) {
+func (n *Null) Quantum(sim.Time) error {
 	if !n.placed {
 		if err := SpreadPlacement(n.m, n.seed); err != nil {
-			panic(err)
+			return err
 		}
 		n.placed = true
 	}
+	return nil
 }

@@ -23,10 +23,20 @@ type World interface {
 type Policy interface {
 	// Name identifies the policy in traces and reports.
 	Name() string
-	// Quantum runs one scheduling decision at simulated time now.
-	Quantum(now Time)
+	// Quantum runs one scheduling decision at simulated time now. A
+	// returned error aborts the run; policies are expected to absorb
+	// recoverable input problems (bad counter readings, failed swaps)
+	// themselves and return errors only for genuinely broken state.
+	Quantum(now Time) error
 	// QuantaLength returns the current time between scheduling decisions.
 	QuantaLength() Time
+}
+
+// LiveCounter is optionally implemented by Worlds that can report how
+// many threads are still live; the engine uses it to enrich horizon
+// errors.
+type LiveCounter interface {
+	AliveCount() int
 }
 
 // TickFunc is an observer invoked after every engine tick; the tracer uses
@@ -57,10 +67,36 @@ func DefaultConfig() Config {
 	return Config{Step: 1, MaxTime: 3_600_000}
 }
 
-// ErrHorizon is returned by Run when the world fails to finish before the
-// configured MaxTime — almost always a sign of a livelocked workload or a
-// contention model parameterised so threads make no progress.
+// ErrHorizon is the sentinel matched by errors.Is when the world fails
+// to finish before the configured MaxTime — almost always a sign of a
+// livelocked workload or a contention model parameterised so threads
+// make no progress. The concrete error is a *HorizonError carrying the
+// simulated time and live-thread count at abort.
 var ErrHorizon = errors.New("sim: world did not finish before MaxTime")
+
+// HorizonError reports a safety-horizon overrun. It wraps ErrHorizon so
+// callers can match it with errors.Is(err, ErrHorizon) and inspect the
+// details with errors.As.
+type HorizonError struct {
+	// Policy is the scheduling policy that was driving the run.
+	Policy string
+	// T is the simulated time at which the run was aborted.
+	T Time
+	// Alive is the number of live threads at abort, or -1 when the world
+	// cannot report it.
+	Alive int
+}
+
+// Error implements error.
+func (e *HorizonError) Error() string {
+	if e.Alive >= 0 {
+		return fmt.Sprintf("%v (policy %q, t=%v, %d live threads)", ErrHorizon, e.Policy, e.T, e.Alive)
+	}
+	return fmt.Sprintf("%v (policy %q, t=%v)", ErrHorizon, e.Policy, e.T)
+}
+
+// Unwrap makes errors.Is(err, ErrHorizon) succeed.
+func (e *HorizonError) Unwrap() error { return ErrHorizon }
 
 // NewEngine builds an engine over world and policy. A nil policy is
 // rejected; use the sched package's Null policy for unscheduled runs.
@@ -106,10 +142,16 @@ func (e *Engine) Run() (Time, error) {
 	for !e.world.Done() {
 		now := e.clock.Now()
 		if now >= e.maxT {
-			return now, fmt.Errorf("%w (policy %q, t=%v)", ErrHorizon, e.policy.Name(), now)
+			alive := -1
+			if lc, ok := e.world.(LiveCounter); ok {
+				alive = lc.AliveCount()
+			}
+			return now, &HorizonError{Policy: e.policy.Name(), T: now, Alive: alive}
 		}
 		if now >= nextQuantum {
-			e.policy.Quantum(now)
+			if err := e.policy.Quantum(now); err != nil {
+				return now, fmt.Errorf("sim: policy %q failed at %v: %w", e.policy.Name(), now, err)
+			}
 			ql = e.policy.QuantaLength()
 			if ql <= 0 {
 				return now, fmt.Errorf("sim: policy %q set non-positive quantum at %v", e.policy.Name(), now)

@@ -24,16 +24,27 @@ type fakePolicy struct {
 	calls []Time
 	// retune, if set, is applied to ql after each Quantum call.
 	retune func(Time) Time
+	// err, if set, is returned from every Quantum call.
+	err error
 }
 
 func (p *fakePolicy) Name() string       { return "fake" }
 func (p *fakePolicy) QuantaLength() Time { return p.ql }
-func (p *fakePolicy) Quantum(now Time) {
+func (p *fakePolicy) Quantum(now Time) error {
 	p.calls = append(p.calls, now)
 	if p.retune != nil {
 		p.ql = p.retune(p.ql)
 	}
+	return p.err
 }
+
+// fakeLiveWorld is fakeWorld plus a live-thread count for HorizonError.
+type fakeLiveWorld struct {
+	fakeWorld
+	alive int
+}
+
+func (w *fakeLiveWorld) AliveCount() int { return w.alive }
 
 func TestEngineRunsToCompletion(t *testing.T) {
 	w := &fakeWorld{runFor: 1000}
@@ -122,6 +133,51 @@ func TestEngineHorizon(t *testing.T) {
 	_, err := e.Run()
 	if !errors.Is(err, ErrHorizon) {
 		t.Errorf("err = %v, want ErrHorizon", err)
+	}
+	var herr *HorizonError
+	if !errors.As(err, &herr) {
+		t.Fatalf("err = %v, want *HorizonError", err)
+	}
+	if herr.T != 1000 {
+		t.Errorf("HorizonError.T = %v, want 1000", herr.T)
+	}
+	if herr.Policy != "fake" {
+		t.Errorf("HorizonError.Policy = %q, want %q", herr.Policy, "fake")
+	}
+	if herr.Alive != -1 {
+		t.Errorf("HorizonError.Alive = %d, want -1 (world has no AliveCount)", herr.Alive)
+	}
+}
+
+func TestEngineHorizonReportsAlive(t *testing.T) {
+	w := &fakeLiveWorld{fakeWorld: fakeWorld{runFor: 1 << 40}, alive: 7}
+	p := &fakePolicy{ql: 100}
+	cfg := DefaultConfig()
+	cfg.MaxTime = 500
+	e, _ := NewEngine(w, p, cfg)
+	_, err := e.Run()
+	var herr *HorizonError
+	if !errors.As(err, &herr) {
+		t.Fatalf("err = %v, want *HorizonError", err)
+	}
+	if herr.Alive != 7 {
+		t.Errorf("HorizonError.Alive = %d, want 7", herr.Alive)
+	}
+}
+
+func TestEnginePolicyErrorStopsRun(t *testing.T) {
+	w := &fakeWorld{runFor: 1000}
+	p := &fakePolicy{ql: 100, err: errors.New("placement failed")}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	_, err := e.Run()
+	if err == nil {
+		t.Fatal("policy error was swallowed")
+	}
+	if errors.Is(err, ErrHorizon) {
+		t.Errorf("policy error misreported as horizon: %v", err)
+	}
+	if len(p.calls) != 1 {
+		t.Errorf("engine kept running after policy error: %d quantum calls", len(p.calls))
 	}
 }
 
