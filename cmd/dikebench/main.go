@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"dike/internal/cli"
 	"dike/internal/harness"
 )
 
@@ -69,7 +70,7 @@ func main() {
 		rep, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: ", id)
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if err := rep.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -9,6 +9,19 @@
 //	dikesim -wl 15 -policy dio -scale 1         # full-length WL15 under DIO
 //	dikesim -wl 7 -policy dike-af -seed 7       # adaptive, different seed
 //	dikesim -apps jacobi,srad -policy dike      # custom two-app workload
+//
+// Record/replay:
+//
+//	dikesim -wl 6 -policy dike -record run.log  # record the platform stream
+//	dikesim -replay run.log                     # re-run decisions from the log
+//	dikesim -replay run.log -digest             # print the decision digest
+//
+// A replay rebuilds the recorded policy over the log — no machine model
+// runs — and verifies every decision against the recording, failing on
+// the first divergence. With -digest the only output is the run's
+// deterministic decision digest (per-quantum fairness numbers in exact
+// round-trip form), so `dikesim -record` and `dikesim -replay` outputs
+// can be compared byte-for-byte.
 package main
 
 import (
@@ -17,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"dike/internal/cli"
 	"dike/internal/fault"
 	"dike/internal/harness"
 	"dike/internal/workload"
@@ -34,8 +48,16 @@ func main() {
 		faultsFlag = flag.String("faults", "", "fault classes to inject: 'all', 'none', or a comma list of "+fault.ClassNames())
 		frateFlag  = flag.Float64("fault-rate", 1, "multiplier on all fault-class base probabilities")
 		fseedFlag  = flag.Uint64("fault-seed", 1, "fault injector seed (same seed = identical fault schedule)")
+		recordFlag = flag.String("record", "", "write a replay log of the run to this file")
+		replayFlag = flag.String("replay", "", "re-run a recorded log instead of simulating; other run flags are ignored")
+		digestFlag = flag.Bool("digest", false, "print only the deterministic decision digest")
 	)
 	flag.Parse()
+
+	if *replayFlag != "" {
+		replayRun(*replayFlag, *digestFlag)
+		return
+	}
 
 	var w *workload.Workload
 	var err error
@@ -69,9 +91,27 @@ func main() {
 			spec.Faults = &fc
 		}
 	}
+	var recFile *os.File
+	if *recordFlag != "" {
+		f, err := os.Create(*recordFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		recFile = f
+		spec.Record = f
+	}
 	out, err := harness.Run(spec)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
+	}
+	if recFile != nil {
+		if err := recFile.Close(); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	if *digestFlag {
+		fmt.Print(harness.Digest(spec.Policy, out.History))
+		return
 	}
 
 	r := out.Result
@@ -114,6 +154,32 @@ func main() {
 		}
 		fmt.Printf("%-15s %-6s %9.1fs %9.1fs %8.4f%s\n",
 			b.Name, classOf(b.Name), b.Time/1000, b.MeanThreadTime/1000, b.CV, tag)
+	}
+}
+
+// replayRun re-executes a recorded log and reports the verified run.
+func replayRun(path string, digest bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	defer f.Close()
+	out, err := harness.Replay(f)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if digest {
+		fmt.Print(harness.Digest(out.Policy, out.History))
+		return
+	}
+	fmt.Printf("replayed   %s (seed %d)\n", out.Policy, out.Seed)
+	fmt.Printf("quanta     %d, last event at %.1fs\n", out.Quanta, float64(out.CompletedAt)/1000)
+	fmt.Println("verified   every decision matched the recording")
+	if out.History != nil {
+		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
+			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
+		last := out.History[len(out.History)-1]
+		fmt.Printf("final gate %.4f (swap=%d quanta=%dms)\n", last.Fairness, last.SwapSize, int64(last.Quanta))
 	}
 }
 

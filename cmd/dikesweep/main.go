@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"dike/internal/cli"
 	"dike/internal/core"
 	"dike/internal/harness"
 	"dike/internal/sim"
@@ -39,7 +40,7 @@ func main() {
 		Seed: *seedFlag, SweepScale: *scaleFlag, Workers: *workerFlag,
 	})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	// Locate maxima.

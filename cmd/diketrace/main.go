@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"dike/internal/cli"
 	"dike/internal/harness"
 	"dike/internal/workload"
 )
@@ -48,22 +49,22 @@ func record(args []string) {
 
 	w, err := workload.Table2(*wlFlag)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	out, err := harness.Run(harness.RunSpec{
 		Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
 		TraceEvery: 500,
 	})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	f, err := os.Create(*outFlag)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	defer f.Close()
 	if err := harness.NewRunRecord(out).WriteJSON(f); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	fmt.Printf("recorded %s/%s -> %s (fairness %.4f, makespan %.1fs, %d swaps)\n",
 		out.Result.Workload, out.Result.Policy, *outFlag,
@@ -76,12 +77,12 @@ func summarize(args []string) {
 	}
 	f, err := os.Open(args[0])
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	defer f.Close()
 	rec, err := harness.ReadRunRecord(f)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	fmt.Printf("run        %s under %s (seed %d, scale %.2f)\n", rec.Workload, rec.Policy, rec.Seed, rec.Scale)
@@ -139,4 +140,3 @@ func summarize(args []string) {
 		fmt.Printf("  %-15s cv=%.4f time=%.1fs%s\n", b.Name, b.CV, b.Time/1000, tag)
 	}
 }
-

@@ -1,4 +1,6 @@
-package main
+// Package cli holds the scraps of behaviour the dike* commands share,
+// so each main package stays a thin flag-parsing shell.
+package cli
 
 import (
 	"errors"
@@ -8,11 +10,11 @@ import (
 	"dike/internal/sim"
 )
 
-// fatal prints err and exits non-zero. A safety-horizon overrun gets a
+// Fatal prints err and exits non-zero. A safety-horizon overrun gets a
 // dedicated message carrying the simulated time and live-thread count,
 // so a wedged run (threads that can no longer finish) is
 // distinguishable from an ordinary configuration mistake.
-func fatal(err error) {
+func Fatal(err error) {
 	var herr *sim.HorizonError
 	if errors.As(err, &herr) {
 		if herr.Alive >= 0 {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
@@ -11,7 +11,7 @@ import (
 type Decider struct {
 	// lastSwapped records the quantum index in which each thread was
 	// last migrated.
-	lastSwapped map[machine.ThreadID]int
+	lastSwapped map[platform.ThreadID]int
 	// cooldown is how many quanta a swapped thread rests. At the default
 	// 500 ms quantum this is 1 — the paper's "does not swap a thread in
 	// consecutive quanta" — and it scales up at shorter quanta so the
@@ -30,7 +30,7 @@ const cooldownWindow = 400
 
 // NewDecider returns an empty decider.
 func NewDecider() *Decider {
-	return &Decider{lastSwapped: make(map[machine.ThreadID]int), cooldown: 1}
+	return &Decider{lastSwapped: make(map[platform.ThreadID]int), cooldown: 1}
 }
 
 // SetQuanta informs the decider of the current quantum length so the
@@ -62,7 +62,7 @@ func (d *Decider) Filter(preds []Prediction, q int) []Prediction {
 
 // swappedLastQuantum reports whether tid was swapped within the cooldown
 // window ending at quantum q.
-func (d *Decider) swappedLastQuantum(tid machine.ThreadID, q int) bool {
+func (d *Decider) swappedLastQuantum(tid platform.ThreadID, q int) bool {
 	last, ok := d.lastSwapped[tid]
 	return ok && q-last <= d.cooldown
 }
@@ -85,13 +85,13 @@ func (d *Decider) Committed(pair Pair, q int) {
 // un-committed in the Decider's bookkeeping, so the cool-down does not
 // block the pair from being retried in a later quantum.
 type Migrator struct {
-	m *machine.Machine
+	p platform.Platform
 	// failed counts swaps that did not take effect and were rolled back.
 	failed int
 }
 
-// NewMigrator returns a migrator over m.
-func NewMigrator(m *machine.Machine) *Migrator { return &Migrator{m: m} }
+// NewMigrator returns a migrator over p.
+func NewMigrator(p platform.Platform) *Migrator { return &Migrator{p: p} }
 
 // FailedSwaps returns how many accepted swaps did not take effect.
 func (mg *Migrator) FailedSwaps() int { return mg.failed }
@@ -103,22 +103,22 @@ func (mg *Migrator) Apply(preds []Prediction, d *Decider, q int, now sim.Time) (
 	n := 0
 	for _, p := range preds {
 		lo, hi := p.Pair.Low, p.Pair.High
-		cl, err := mg.m.CoreOf(lo)
+		cl, err := mg.p.CoreOf(lo)
 		if err != nil {
 			return n, err
 		}
-		ch, err := mg.m.CoreOf(hi)
+		ch, err := mg.p.CoreOf(hi)
 		if err != nil {
 			return n, err
 		}
-		if err := mg.m.Swap(lo, hi, now); err != nil {
+		if err := mg.p.Swap(lo, hi, now); err != nil {
 			return n, err
 		}
-		nl, err := mg.m.CoreOf(lo)
+		nl, err := mg.p.CoreOf(lo)
 		if err != nil {
 			return n, err
 		}
-		nh, err := mg.m.CoreOf(hi)
+		nh, err := mg.p.CoreOf(hi)
 		if err != nil {
 			return n, err
 		}
@@ -133,12 +133,12 @@ func (mg *Migrator) Apply(preds []Prediction, d *Decider, q int, now sim.Time) (
 		// the next quantum's observation sees the true placement anyway.
 		mg.failed++
 		if nl != cl {
-			if err := mg.m.Migrate(lo, cl, now); err != nil {
+			if err := mg.p.Migrate(lo, cl, now); err != nil {
 				return n, err
 			}
 		}
 		if nh != ch {
-			if err := mg.m.Migrate(hi, ch, now); err != nil {
+			if err := mg.p.Migrate(hi, ch, now); err != nil {
 				return n, err
 			}
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform/platformtest"
 	"dike/internal/sim"
 )
 
@@ -91,11 +91,11 @@ func TestDeciderAblationFlags(t *testing.T) {
 }
 
 func TestMigratorAppliesSwaps(t *testing.T) {
-	m := machine.MustNew(machine.DefaultConfig())
-	if err := m.AddThread(0, 0, machine.ConstProgram{Work: 1000}); err != nil {
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
+	if err := m.AddThread(0, 0, platformtest.ConstProgram{Work: 1000}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.AddThread(1, 1, machine.ConstProgram{Work: 1000}); err != nil {
+	if err := m.AddThread(1, 1, platformtest.ConstProgram{Work: 1000}); err != nil {
 		t.Fatal(err)
 	}
 	fast := m.Topology().FastCores()[0]

@@ -2,19 +2,20 @@ package core
 
 import (
 	"math"
+	"sort"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sched"
 	"dike/internal/sim"
 	"dike/internal/stats"
 )
 
 // Dike is the paper's scheduler as a simulation policy. Construct with
-// New, then hand to the simulation engine; it observes the machine's
+// New, then hand to the simulation engine; it observes the platform's
 // performance counters each quantum and re-maps threads to cores through
 // affinity swaps.
 type Dike struct {
-	m   *machine.Machine
+	p   platform.Platform
 	cfg Config
 
 	obs *Observer
@@ -32,9 +33,9 @@ type Dike struct {
 	// Prediction bookkeeping: what the predictor expected each thread's
 	// access rate to be this quantum (set at the end of the previous
 	// quantum), and accumulated per-thread error statistics.
-	predNext map[machine.ThreadID]float64
-	errSum   map[machine.ThreadID]float64
-	errCount map[machine.ThreadID]int
+	predNext map[platform.ThreadID]float64
+	errSum   map[platform.ThreadID]float64
+	errCount map[platform.ThreadID]int
 	series   []ErrPoint
 
 	history []QuantumRecord
@@ -90,9 +91,9 @@ const (
 	errClamp = 1.5
 )
 
-// New builds a Dike policy over m with cfg (zero-value fields take
+// New builds a Dike policy over platform p with cfg (zero-value fields take
 // defaults from DefaultConfig).
-func New(m *machine.Machine, cfg Config) (*Dike, error) {
+func New(p platform.Platform, cfg Config) (*Dike, error) {
 	def := DefaultConfig()
 	if cfg.QuantaLength == 0 {
 		cfg.QuantaLength = def.QuantaLength
@@ -119,17 +120,17 @@ func New(m *machine.Machine, cfg Config) (*Dike, error) {
 		return nil, err
 	}
 	d := &Dike{
-		m:        m,
+		p:        p,
 		cfg:      cfg,
-		obs:      newObserver(m, cfg.CoreBWAlpha, cfg.MissRatioThreshold, cfg.UseIPCMetric),
+		obs:      newObserver(p, cfg.CoreBWAlpha, cfg.MissRatioThreshold, cfg.UseIPCMetric),
 		prd:      Predictor{SwapOH: cfg.SwapOH},
 		dec:      NewDecider(),
-		mig:      NewMigrator(m),
+		mig:      NewMigrator(p),
 		swapSize: cfg.SwapSize,
 		quanta:   cfg.QuantaLength,
-		predNext: make(map[machine.ThreadID]float64),
-		errSum:   make(map[machine.ThreadID]float64),
-		errCount: make(map[machine.ThreadID]int),
+		predNext: make(map[platform.ThreadID]float64),
+		errSum:   make(map[platform.ThreadID]float64),
+		errCount: make(map[platform.ThreadID]int),
 	}
 	d.dec.DisableProfitGate = cfg.DisableProfitGate
 	d.dec.DisableCooldown = cfg.DisableCooldown
@@ -142,8 +143,8 @@ func New(m *machine.Machine, cfg Config) (*Dike, error) {
 }
 
 // MustNew is New for known-valid configurations; it panics on error.
-func MustNew(m *machine.Machine, cfg Config) *Dike {
-	d, err := New(m, cfg)
+func MustNew(p platform.Platform, cfg Config) *Dike {
+	d, err := New(p, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -181,7 +182,7 @@ func (d *Dike) History() []QuantumRecord { return d.history }
 func (d *Dike) WatchdogTrips() int { return d.wdTrips }
 
 // FailedSwaps returns how many accepted swaps did not take effect on
-// the machine (silently dropped migrations, detected and rolled back).
+// the platform (silently dropped migrations, detected and rolled back).
 func (d *Dike) FailedSwaps() int { return d.mig.FailedSwaps() }
 
 // SanitizedTotal returns the run totals of counter readings the
@@ -191,7 +192,7 @@ func (d *Dike) SanitizedTotal() SanitizeStats { return d.obs.SanitizedTotal() }
 // Quantum implements sched.Policy: one pass of the Figure 3 pipeline.
 func (d *Dike) Quantum(now sim.Time) error {
 	if !d.placed {
-		if err := sched.SpreadPlacement(d.m, d.cfg.PlacementSeed); err != nil {
+		if err := sched.SpreadPlacement(d.p, d.cfg.PlacementSeed); err != nil {
 			return err
 		}
 		d.placed = true
@@ -232,7 +233,7 @@ func (d *Dike) Quantum(now sim.Time) error {
 	}
 
 	// Default prediction: threads that stay put keep their access rate.
-	next := make(map[machine.ThreadID]float64, len(obs.Alive))
+	next := make(map[platform.ThreadID]float64, len(obs.Alive))
 	for _, id := range obs.Alive {
 		next[id] = obs.Rate[id]
 	}
@@ -354,18 +355,26 @@ func (d *Dike) instructionRate(obs *Observation) float64 {
 // PredStats summarises prediction accuracy over a run.
 type PredStats struct {
 	// PerThread is each thread's run-averaged signed relative error.
-	PerThread map[machine.ThreadID]float64
+	PerThread map[platform.ThreadID]float64
 }
 
 // MinAvgMax returns the minimum, mean and maximum of the per-thread
-// averaged errors (Fig 7's three series). Zeroes if no data.
+// averaged errors (Fig 7's three series). Zeroes if no data. Values are
+// folded in ascending thread-id order: float summation is not
+// associative, so map-iteration order would make the mean's last bit
+// nondeterministic — which record/replay verification compares.
 func (ps PredStats) MinAvgMax() (lo, avg, hi float64) {
 	if len(ps.PerThread) == 0 {
 		return 0, 0, 0
 	}
-	vals := make([]float64, 0, len(ps.PerThread))
-	for _, v := range ps.PerThread {
-		vals = append(vals, v)
+	ids := make([]platform.ThreadID, 0, len(ps.PerThread))
+	for id := range ps.PerThread {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	vals := make([]float64, len(ids))
+	for i, id := range ids {
+		vals[i] = ps.PerThread[id]
 	}
 	lo, _ = stats.Min(vals)
 	hi, _ = stats.Max(vals)
@@ -375,7 +384,7 @@ func (ps PredStats) MinAvgMax() (lo, avg, hi float64) {
 // PredictionStats returns the per-thread averaged prediction errors
 // accumulated so far.
 func (d *Dike) PredictionStats() PredStats {
-	out := PredStats{PerThread: make(map[machine.ThreadID]float64, len(d.errSum))}
+	out := PredStats{PerThread: make(map[platform.ThreadID]float64, len(d.errSum))}
 	for id, sum := range d.errSum {
 		if c := d.errCount[id]; c > 0 {
 			out.PerThread[id] = sum / float64(c)

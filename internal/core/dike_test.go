@@ -3,16 +3,17 @@ package core
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
+	"dike/internal/platform/platformtest"
 	"dike/internal/sim"
 	"dike/internal/workload"
 )
 
 // runDike builds WLn at the given scale, runs Dike with cfg, and returns
 // the policy and machine after completion.
-func runDike(t *testing.T, wlN int, scale float64, cfg Config) (*Dike, *machine.Machine) {
+func runDike(t *testing.T, wlN int, scale float64, cfg Config) (*Dike, *platformtest.Machine) {
 	t.Helper()
-	m := machine.MustNew(machine.DefaultConfig())
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
 	if _, err := workload.MustTable2(wlN).Build(m, workload.BuildOptions{Seed: 42, Scale: scale}); err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func runDike(t *testing.T, wlN int, scale float64, cfg Config) (*Dike, *machine.
 }
 
 func TestNewDefaults(t *testing.T) {
-	m := machine.MustNew(machine.DefaultConfig())
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
 	d, err := New(m, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +50,7 @@ func TestNewDefaults(t *testing.T) {
 }
 
 func TestDikeNames(t *testing.T) {
-	m := machine.MustNew(machine.DefaultConfig())
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
 	for goal, want := range map[AdaptationGoal]string{
 		AdaptNone:        "dike",
 		AdaptFairness:    "dike-af",
@@ -110,8 +111,8 @@ func TestDikePredictionBookkeeping(t *testing.T) {
 
 func TestDikeImprovesFairnessOverNoScheduling(t *testing.T) {
 	// Compare per-process runtime CVs: Dike vs a frozen placement.
-	runtimes := func(policy func(m *machine.Machine) sim.Policy) (float64, *machine.Machine) {
-		m := machine.MustNew(machine.DefaultConfig())
+	runtimes := func(policy func(m *platformtest.Machine) sim.Policy) (float64, *platformtest.Machine) {
+		m := platformtest.NewMachine(platformtest.DefaultConfig())
 		inst, err := workload.MustTable2(1).Build(m, workload.BuildOptions{Seed: 42, Scale: 0.15})
 		if err != nil {
 			t.Fatal(err)
@@ -152,10 +153,10 @@ func TestDikeImprovesFairnessOverNoScheduling(t *testing.T) {
 		}
 		return sum / float64(n), m
 	}
-	dikeCV, _ := runtimes(func(m *machine.Machine) sim.Policy {
+	dikeCV, _ := runtimes(func(m *platformtest.Machine) sim.Policy {
 		return MustNew(m, Config{PlacementSeed: 42})
 	})
-	frozenCV, _ := runtimes(func(m *machine.Machine) sim.Policy {
+	frozenCV, _ := runtimes(func(m *platformtest.Machine) sim.Policy {
 		return frozenPolicy{m: m}
 	})
 	if dikeCV >= frozenCV {
@@ -166,7 +167,7 @@ func TestDikeImprovesFairnessOverNoScheduling(t *testing.T) {
 // frozenPolicy mimics the CFS baseline without importing sched's CFS (it
 // lives here to avoid test-only coupling).
 type frozenPolicy struct {
-	m      *machine.Machine
+	m      *platformtest.Machine
 	placed bool
 }
 
@@ -177,9 +178,9 @@ func (f frozenPolicy) Quantum(now sim.Time) error {
 	return nil
 }
 
-var placedMachines = map[*machine.Machine]bool{}
+var placedMachines = map[*platformtest.Machine]bool{}
 
-func placeOnce(m *machine.Machine, _ sim.Time) {
+func placeOnce(m *platformtest.Machine, _ sim.Time) {
 	if placedMachines[m] {
 		return
 	}
@@ -196,7 +197,7 @@ func placeOnce(m *machine.Machine, _ sim.Time) {
 	}
 	rng.Shuffle(idx)
 	for i, t := range idx {
-		if err := m.Place(ids[t], machine.CoreID(i%n)); err != nil {
+		if err := m.Place(ids[t], platform.CoreID(i%n)); err != nil {
 			panic(err)
 		}
 	}
@@ -265,7 +266,7 @@ func TestIPCMetricDegradesPlacement(t *testing.T) {
 	// instructions), so the placement rule hands fast cores to the
 	// threads that need bandwidth least; the memory apps' completion —
 	// and with it the workload makespan — suffers.
-	makespan := func(m *machine.Machine) sim.Time {
+	makespan := func(m *platformtest.Machine) sim.Time {
 		var last sim.Time
 		for _, id := range m.Threads() {
 			if ft, ok := m.Finished(id); ok && ft > last {
@@ -278,14 +279,14 @@ func TestIPCMetricDegradesPlacement(t *testing.T) {
 		t.Errorf("access-rate makespan %v not below IPC makespan %v", mr, mi)
 	}
 
-	fairness := func(m *machine.Machine) float64 {
+	fairness := func(m *platformtest.Machine) float64 {
 		// Mean per-benchmark runtime CV over the first four benchmarks
 		// (8 threads each, ids 0..31).
 		sum := 0.0
 		for b := 0; b < 4; b++ {
 			var times []float64
 			for i := 0; i < 8; i++ {
-				ft, ok := m.Finished(machine.ThreadID(b*8 + i))
+				ft, ok := m.Finished(platform.ThreadID(b*8 + i))
 				if !ok {
 					t.Fatal("unfinished thread")
 				}

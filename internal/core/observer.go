@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"dike/internal/machine"
-	"dike/internal/sched"
+	"dike/internal/platform"
 	"dike/internal/sim"
 	"dike/internal/stats"
 )
@@ -34,28 +33,28 @@ func (c ThreadClass) String() string {
 // bandwidth estimates, and the high/low-bandwidth core partition.
 type Observation struct {
 	Now    sim.Time
-	Sample *sched.Sample
+	Sample *platform.Sample
 	// Alive lists live threads in ascending id order.
-	Alive []machine.ThreadID
+	Alive []platform.ThreadID
 	// Class is the current per-thread classification.
-	Class map[machine.ThreadID]ThreadClass
+	Class map[platform.ThreadID]ThreadClass
 	// Rate is the measured access rate (misses/ms) per thread.
-	Rate map[machine.ThreadID]float64
+	Rate map[platform.ThreadID]float64
 	// Baseline is the thread's intrinsic demand estimate: the mean
 	// access rate of its process's threads this quantum. Homogeneous
 	// threads of one process doing equal work make this a core-agnostic
 	// demand figure.
-	Baseline map[machine.ThreadID]float64
+	Baseline map[platform.ThreadID]float64
 	// Instr is each thread's cumulative retired-instruction count — the
 	// PMU-visible progress proxy the Selector uses to rotate lagging
 	// siblings onto fast cores.
-	Instr map[machine.ThreadID]float64
+	Instr map[platform.ThreadID]float64
 	// CoreOf is each thread's current core.
-	CoreOf map[machine.ThreadID]machine.CoreID
+	CoreOf map[platform.ThreadID]platform.CoreID
 	// Proc maps each thread to its process (benchmark) id. Process
 	// membership is OS-visible (tgid), so using it carries no a priori
 	// knowledge about application character.
-	Proc map[machine.ThreadID]int
+	Proc map[platform.ThreadID]int
 	// CoreBW is the per-core moving-mean served bandwidth (misses/ms) —
 	// the paper's CoreBW variable in raw form; kept for diagnostics.
 	CoreBW []float64
@@ -70,13 +69,13 @@ type Observation struct {
 	Capability []float64
 	// HighBW marks cores in the higher-capability half of the occupied
 	// cores (the Observer's "core identification").
-	HighBW map[machine.CoreID]bool
+	HighBW map[platform.CoreID]bool
 	// Held marks threads whose counter reading this quantum was missing
 	// or rejected by sanitization; their Rate is the held last-good
 	// estimate (zero once the estimate is too stale to trust). Consumers
 	// must not treat held rates as fresh feedback — the Predictor's
 	// error bookkeeping and the capability estimator both skip them.
-	Held map[machine.ThreadID]bool
+	Held map[platform.ThreadID]bool
 	// Sanitized counts this quantum's counter-sanitization actions.
 	Sanitized SanitizeStats
 	// SystemCV is the coefficient of variation of all alive threads'
@@ -112,7 +111,7 @@ func (o *Observation) ComputeThreads() int { return len(o.Alive) - o.MemoryThrea
 // the migrating thread's own demand units so that swapping a compute
 // thread onto a big core is not predicted to magically produce a memory
 // hog's bandwidth.
-func (o *Observation) PredictRate(id machine.ThreadID, c machine.CoreID) float64 {
+func (o *Observation) PredictRate(id platform.ThreadID, c platform.CoreID) float64 {
 	return o.Capability[c] * o.Baseline[id]
 }
 
@@ -151,12 +150,11 @@ const minBaseline = 0.02
 // Observer performs the paper's two observation jobs (§III-A): thread
 // classification (memory vs compute intensive, from measured LLC miss
 // ratios) and core identification (higher vs lower bandwidth cores, via
-// the per-core capability moving means). It sees only performance
-// counters plus OS-visible process membership.
+// the per-core capability moving means). It sees only the platform seam:
+// performance counters plus OS-visible thread and topology state.
 type Observer struct {
-	m       *machine.Machine
-	sampler *sched.Sampler
-	missTh  float64
+	p      platform.Platform
+	missTh float64
 	// useIPC switches the contention metric from memory access rate to
 	// instructions per ms (ablation only; see Config.UseIPCMetric).
 	useIPC bool
@@ -165,7 +163,7 @@ type Observer struct {
 	capacity float64
 	coreBW   []*stats.MovingMean
 	capab    []*stats.MovingMean
-	class    map[machine.ThreadID]ThreadClass
+	class    map[platform.ThreadID]ThreadClass
 	// procBase smooths each process's mean access rate across quanta so
 	// that a single burst quantum does not fling a whole process across
 	// the placement boundary and back (burst-chasing churn).
@@ -173,21 +171,21 @@ type Observer struct {
 	// lastRate/staleFor implement hold-last-good: the last sane measured
 	// rate per thread, and for how many consecutive quanta the thread's
 	// reading has been missing or rejected.
-	lastRate map[machine.ThreadID]float64
-	staleFor map[machine.ThreadID]int
+	lastRate map[platform.ThreadID]float64
+	staleFor map[platform.ThreadID]int
 	// sanitized accumulates sanitizer actions over the run.
 	sanitized SanitizeStats
 }
 
-// NewObserver builds an observer over m. alpha is the EWMA weight for
+// NewObserver builds an observer over p. alpha is the EWMA weight for
 // both CoreBW and capability; missTh the M/C miss-ratio boundary.
-func NewObserver(m *machine.Machine, alpha, missTh float64) *Observer {
-	return newObserver(m, alpha, missTh, false)
+func NewObserver(p platform.Platform, alpha, missTh float64) *Observer {
+	return newObserver(p, alpha, missTh, false)
 }
 
 // newObserver additionally selects the contention metric (ablation).
-func newObserver(m *machine.Machine, alpha, missTh float64, useIPC bool) *Observer {
-	n := m.Topology().NumCores()
+func newObserver(p platform.Platform, alpha, missTh float64, useIPC bool) *Observer {
+	n := p.Topology().NumCores()
 	bw := make([]*stats.MovingMean, n)
 	cp := make([]*stats.MovingMean, n)
 	for i := range bw {
@@ -195,17 +193,16 @@ func newObserver(m *machine.Machine, alpha, missTh float64, useIPC bool) *Observ
 		cp[i] = stats.NewMovingMean(alpha)
 	}
 	return &Observer{
-		m:        m,
-		sampler:  sched.NewSampler(m),
+		p:        p,
 		missTh:   missTh,
 		useIPC:   useIPC,
-		capacity: m.Config().MemCapacity,
+		capacity: p.MemCapacity(),
 		coreBW:   bw,
 		capab:    cp,
-		class:    make(map[machine.ThreadID]ThreadClass),
+		class:    make(map[platform.ThreadID]ThreadClass),
 		procBase: make(map[int]*stats.MovingMean),
-		lastRate: make(map[machine.ThreadID]float64),
-		staleFor: make(map[machine.ThreadID]int),
+		lastRate: make(map[platform.ThreadID]float64),
+		staleFor: make(map[platform.ThreadID]int),
 	}
 }
 
@@ -225,22 +222,22 @@ func (o *Observer) SanitizedTotal() SanitizeStats { return o.sanitized }
 // Observation.Held and excluded from the capability and baseline
 // estimators so garbage never enters the closed loop.
 func (o *Observer) Observe(now sim.Time) (*Observation, error) {
-	sample := o.sampler.Sample(now)
-	alive := o.m.Alive()
+	sample := o.p.Sample(now)
+	alive := o.p.Alive()
 	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
 
 	obs := &Observation{
 		Now:      now,
 		Sample:   sample,
 		Alive:    alive,
-		Class:    make(map[machine.ThreadID]ThreadClass, len(alive)),
-		Rate:     make(map[machine.ThreadID]float64, len(alive)),
-		Baseline: make(map[machine.ThreadID]float64, len(alive)),
-		Instr:    make(map[machine.ThreadID]float64, len(alive)),
-		CoreOf:   make(map[machine.ThreadID]machine.CoreID, len(alive)),
-		Proc:     make(map[machine.ThreadID]int, len(alive)),
-		Held:     make(map[machine.ThreadID]bool),
-		HighBW:   make(map[machine.CoreID]bool),
+		Class:    make(map[platform.ThreadID]ThreadClass, len(alive)),
+		Rate:     make(map[platform.ThreadID]float64, len(alive)),
+		Baseline: make(map[platform.ThreadID]float64, len(alive)),
+		Instr:    make(map[platform.ThreadID]float64, len(alive)),
+		CoreOf:   make(map[platform.ThreadID]platform.CoreID, len(alive)),
+		Proc:     make(map[platform.ThreadID]int, len(alive)),
+		Held:     make(map[platform.ThreadID]bool),
+		HighBW:   make(map[platform.CoreID]bool),
 	}
 
 	rates := make([]float64, 0, len(alive))
@@ -281,13 +278,13 @@ func (o *Observer) Observe(now sim.Time) (*Observation, error) {
 		}
 		obs.Rate[id] = rate
 		rates = append(rates, rate)
-		obs.Instr[id] = o.m.Counters().Thread(int(id)).Instructions
-		core, err := o.m.CoreOf(id)
+		obs.Instr[id] = sample.Instr[id]
+		core, err := o.p.CoreOf(id)
 		if err != nil {
 			return nil, fmt.Errorf("core: observing thread %d: %w", id, err)
 		}
 		obs.CoreOf[id] = core
-		proc, err := o.m.BenchOf(id)
+		proc, err := o.p.ProcessOf(id)
 		if err != nil {
 			return nil, fmt.Errorf("core: observing thread %d: %w", id, err)
 		}
@@ -381,7 +378,7 @@ func (o *Observer) Observe(now sim.Time) (*Observation, error) {
 	// cores. Strictly-greater-than-median marks the high half so that a
 	// degenerate all-equal state (cold start) classifies everything low
 	// and the Selector stays quiet rather than thrashing.
-	occupied := make(map[machine.CoreID]bool, len(alive))
+	occupied := make(map[platform.CoreID]bool, len(alive))
 	for _, c := range obs.CoreOf {
 		occupied[c] = true
 	}
@@ -401,11 +398,11 @@ func (o *Observer) Observe(now sim.Time) (*Observation, error) {
 }
 
 // CoreBW returns the current raw moving-mean served bandwidth of core c.
-func (o *Observer) CoreBW(c machine.CoreID) float64 { return o.coreBW[int(c)].Value() }
+func (o *Observer) CoreBW(c platform.CoreID) float64 { return o.coreBW[int(c)].Value() }
 
 // Capability returns the current relative capability estimate of core c
 // (1.0 before any sample).
-func (o *Observer) Capability(c machine.CoreID) float64 {
+func (o *Observer) Capability(c platform.CoreID) float64 {
 	if o.capab[int(c)].Count() == 0 {
 		return 1
 	}

@@ -5,25 +5,26 @@ import (
 	"testing"
 
 	"dike/internal/counters"
-	"dike/internal/machine"
+	"dike/internal/platform"
+	"dike/internal/platform/platformtest"
 	"dike/internal/sim"
 )
 
 // steerableDisruptor perturbs only the target thread's counter deltas,
 // with a caller-supplied mutation. All platform faults are off.
 type steerableDisruptor struct {
-	target machine.ThreadID
+	target platform.ThreadID
 	mutate func(counters.ThreadDelta) (counters.ThreadDelta, bool)
 }
 
-func (d *steerableDisruptor) CoreFactor(machine.CoreID, sim.Time) float64 { return 1 }
-func (d *steerableDisruptor) MigrationFails(machine.ThreadID, machine.CoreID, sim.Time) bool {
+func (d *steerableDisruptor) CoreFactor(platform.CoreID, sim.Time) float64 { return 1 }
+func (d *steerableDisruptor) MigrationFails(platform.ThreadID, platform.CoreID, sim.Time) bool {
 	return false
 }
-func (d *steerableDisruptor) ThreadFault(machine.ThreadID, sim.Time) (bool, bool) {
+func (d *steerableDisruptor) ThreadFault(platform.ThreadID, sim.Time) (bool, bool) {
 	return false, false
 }
-func (d *steerableDisruptor) PerturbDelta(id machine.ThreadID, _ sim.Time, delta counters.ThreadDelta) (counters.ThreadDelta, bool) {
+func (d *steerableDisruptor) PerturbDelta(id platform.ThreadID, _ sim.Time, delta counters.ThreadDelta) (counters.ThreadDelta, bool) {
 	if id == d.target && d.mutate != nil {
 		return d.mutate(delta)
 	}
@@ -31,7 +32,7 @@ func (d *steerableDisruptor) PerturbDelta(id machine.ThreadID, _ sim.Time, delta
 }
 
 // observeQuantum advances the machine one 500 ms quantum and observes.
-func observeQuantum(t *testing.T, m *machine.Machine, o *Observer, q int) *Observation {
+func observeQuantum(t *testing.T, m *platformtest.Machine, o *Observer, q int) *Observation {
 	t.Helper()
 	from, to := sim.Time((q-1)*500), sim.Time(q*500)
 	return observeAfter(t, m, o, from, to)

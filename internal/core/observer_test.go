@@ -3,7 +3,8 @@ package core
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
+	"dike/internal/platform/platformtest"
 	"dike/internal/sched"
 	"dike/internal/sim"
 )
@@ -11,35 +12,35 @@ import (
 // twoClassMachine builds a machine with one memory-intensive process (8
 // threads) and one compute-intensive process (8 threads), spread half on
 // fast and half on slow cores.
-func twoClassMachine(t *testing.T) *machine.Machine {
+func twoClassMachine(t *testing.T) *platformtest.Machine {
 	t.Helper()
-	m := machine.MustNew(machine.DefaultConfig())
-	mem := machine.Demand{AccessesPerWork: 10, MissRatio: 0.5}
-	comp := machine.Demand{AccessesPerWork: 3, MissRatio: 0.03}
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
+	mem := platformtest.Demand{AccessesPerWork: 10, MissRatio: 0.5}
+	comp := platformtest.Demand{AccessesPerWork: 3, MissRatio: 0.03}
 	fast := m.Topology().FastCores()
 	slow := m.Topology().SlowCores()
 	for i := 0; i < 8; i++ {
-		if err := m.AddThread(machine.ThreadID(i), 0, machine.ConstProgram{Work: 1e6, Demand: mem}); err != nil {
+		if err := m.AddThread(platform.ThreadID(i), 0, platformtest.ConstProgram{Work: 1e6, Demand: mem}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 8; i < 16; i++ {
-		if err := m.AddThread(machine.ThreadID(i), 1, machine.ConstProgram{Work: 1e6, Demand: comp}); err != nil {
+		if err := m.AddThread(platform.ThreadID(i), 1, platformtest.ConstProgram{Work: 1e6, Demand: comp}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Half of each process on each core kind, one thread per physical
 	// core to keep SMT out of the picture.
 	for i := 0; i < 4; i++ {
-		m.Place(machine.ThreadID(i), fast[i*2])
-		m.Place(machine.ThreadID(i+4), slow[i*2])
-		m.Place(machine.ThreadID(i+8), fast[8+i*2])
-		m.Place(machine.ThreadID(i+12), slow[8+i*2])
+		m.Place(platform.ThreadID(i), fast[i*2])
+		m.Place(platform.ThreadID(i+4), slow[i*2])
+		m.Place(platform.ThreadID(i+8), fast[8+i*2])
+		m.Place(platform.ThreadID(i+12), slow[8+i*2])
 	}
 	return m
 }
 
-func observeAfter(t *testing.T, m *machine.Machine, o *Observer, from, to sim.Time) *Observation {
+func observeAfter(t *testing.T, m *platformtest.Machine, o *Observer, from, to sim.Time) *Observation {
 	t.Helper()
 	for now := from; now < to; now++ {
 		m.Step(now, 1)
@@ -62,13 +63,13 @@ func TestObserverClassification(t *testing.T) {
 	mustObserve(t, o, 0)
 	obs := observeAfter(t, m, o, 0, 500)
 	for i := 0; i < 8; i++ {
-		if obs.Class[machine.ThreadID(i)] != MemoryClass {
-			t.Errorf("thread %d classified %v, want M", i, obs.Class[machine.ThreadID(i)])
+		if obs.Class[platform.ThreadID(i)] != MemoryClass {
+			t.Errorf("thread %d classified %v, want M", i, obs.Class[platform.ThreadID(i)])
 		}
 	}
 	for i := 8; i < 16; i++ {
-		if obs.Class[machine.ThreadID(i)] != ComputeClass {
-			t.Errorf("thread %d classified %v, want C", i, obs.Class[machine.ThreadID(i)])
+		if obs.Class[platform.ThreadID(i)] != ComputeClass {
+			t.Errorf("thread %d classified %v, want C", i, obs.Class[platform.ThreadID(i)])
 		}
 	}
 	if obs.MemoryThreads() != 8 || obs.ComputeThreads() != 8 {
@@ -93,7 +94,7 @@ func TestObserverCapabilityIdentifiesFastCores(t *testing.T) {
 	for _, id := range obs.Alive {
 		c := obs.CoreOf[id]
 		cap := obs.Capability[c]
-		if topo.Core(c).Kind == machine.FastCore {
+		if topo.Core(c).Kind == platform.FastCore {
 			if cap < minFast {
 				minFast = cap
 			}
@@ -107,7 +108,7 @@ func TestObserverCapabilityIdentifiesFastCores(t *testing.T) {
 	// And the HighBW partition therefore marks exactly the fast cores.
 	for _, id := range obs.Alive {
 		c := obs.CoreOf[id]
-		isFast := topo.Core(c).Kind == machine.FastCore
+		isFast := topo.Core(c).Kind == platform.FastCore
 		if obs.HighBW[c] != isFast {
 			t.Errorf("core %d highBW=%v, kind=%v", c, obs.HighBW[c], topo.Core(c).Kind)
 		}
@@ -122,7 +123,7 @@ func TestObserverBaselinePerProcess(t *testing.T) {
 	// All threads of one process share a baseline.
 	b0 := obs.Baseline[0]
 	for i := 1; i < 8; i++ {
-		if obs.Baseline[machine.ThreadID(i)] != b0 {
+		if obs.Baseline[platform.ThreadID(i)] != b0 {
 			t.Error("process baselines differ across siblings")
 		}
 	}

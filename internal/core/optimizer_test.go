@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 )
 
 // obsWithMix builds a minimal observation with the given M/C thread mix.
@@ -11,11 +11,11 @@ func obsWithMix(mem, comp int) *Observation {
 	var specs []obsSpec
 	id := 0
 	for i := 0; i < mem; i++ {
-		specs = append(specs, obsSpec{id: machine.ThreadID(id), proc: 0, class: MemoryClass, rate: 3, baseline: 3, core: machine.CoreID(id)})
+		specs = append(specs, obsSpec{id: platform.ThreadID(id), proc: 0, class: MemoryClass, rate: 3, baseline: 3, core: platform.CoreID(id)})
 		id++
 	}
 	for i := 0; i < comp; i++ {
-		specs = append(specs, obsSpec{id: machine.ThreadID(id), proc: 1, class: ComputeClass, rate: 0.2, baseline: 0.2, core: machine.CoreID(id)})
+		specs = append(specs, obsSpec{id: platform.ThreadID(id), proc: 1, class: ComputeClass, rate: 0.2, baseline: 0.2, core: platform.CoreID(id)})
 		id++
 	}
 	return makeObs(specs)

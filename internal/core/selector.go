@@ -3,14 +3,14 @@ package core
 import (
 	"sort"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 )
 
 // Pair is a candidate swap: a low-access thread and a high-access thread
 // (the paper's ⟨t_l, t_h⟩).
 type Pair struct {
-	Low  machine.ThreadID
-	High machine.ThreadID
+	Low  platform.ThreadID
+	High platform.ThreadID
 	// Equalize marks an intra-process fairness pair: High is a lagging
 	// sibling on a weaker core, Low its most-ahead sibling on a stronger
 	// one. The Decider judges these on fairness benefit rather than
@@ -64,7 +64,7 @@ const (
 //     fast cores until runtimes equalise.
 type Ranking struct {
 	// Sorted lists alive threads by ascending demand rank.
-	Sorted []machine.ThreadID
+	Sorted []platform.ThreadID
 	// Boundary is the index in Sorted at which the high-demand region
 	// begins: threads at index >= Boundary deserve high-bandwidth cores.
 	Boundary int
@@ -75,7 +75,7 @@ type Ranking struct {
 // boundary. All orderings break final ties by thread id, so runs are
 // deterministic.
 func NewRanking(obs *Observation) *Ranking {
-	sorted := make([]machine.ThreadID, len(obs.Alive))
+	sorted := make([]platform.ThreadID, len(obs.Alive))
 	copy(sorted, obs.Alive)
 	sort.Slice(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
@@ -95,7 +95,7 @@ func NewRanking(obs *Observation) *Ranking {
 	// Count occupied high-bandwidth cores: that is how many threads the
 	// ideal mapping can put on the high side.
 	k := 0
-	seen := make(map[machine.CoreID]bool, len(obs.CoreOf))
+	seen := make(map[platform.CoreID]bool, len(obs.CoreOf))
 	for _, c := range obs.CoreOf {
 		if !seen[c] {
 			seen[c] = true
@@ -220,12 +220,12 @@ func appendEqualizePairs(obs *Observation, pairs []Pair, maxPairs int) []Pair {
 	if len(pairs) >= maxPairs {
 		return pairs
 	}
-	used := make(map[machine.ThreadID]bool, 2*len(pairs))
+	used := make(map[platform.ThreadID]bool, 2*len(pairs))
 	for _, p := range pairs {
 		used[p.Low] = true
 		used[p.High] = true
 	}
-	byProc := make(map[int][]machine.ThreadID)
+	byProc := make(map[int][]platform.ThreadID)
 	for _, id := range obs.Alive {
 		if !used[id] {
 			byProc[obs.Proc[id]] = append(byProc[obs.Proc[id]], id)

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 )
 
 // randomObs derives a syntactically valid Observation from fuzz input:
@@ -30,13 +30,13 @@ func randomObs(seeds []uint32) *Observation {
 			class = MemoryClass
 		}
 		specs = append(specs, obsSpec{
-			id:       machine.ThreadID(i),
+			id:       platform.ThreadID(i),
 			proc:     proc,
 			class:    class,
 			rate:     base * (0.8 + float64(s%40)/100),
 			baseline: base,
 			instr:    float64(s % 10000),
-			core:     machine.CoreID(i),
+			core:     platform.CoreID(i),
 			coreHigh: s%3 == 0,
 			coreCap:  0.7 + float64(s%7)/10,
 		})
@@ -58,7 +58,7 @@ func TestSelectPairsInvariants(t *testing.T) {
 		if len(pairs) > swapSize/2 {
 			return false
 		}
-		used := map[machine.ThreadID]bool{}
+		used := map[platform.ThreadID]bool{}
 		for _, p := range pairs {
 			if p.Low == p.High {
 				return false
@@ -94,7 +94,7 @@ func TestPlacementPairsCrossBoundary(t *testing.T) {
 		}
 		pairs := SelectPairs(obs, int(swapRaw%16)+2)
 		r := NewRanking(obs)
-		rank := map[machine.ThreadID]int{}
+		rank := map[platform.ThreadID]int{}
 		for i, id := range r.Sorted {
 			rank[id] = i
 		}
@@ -165,7 +165,7 @@ func TestRankingIsPermutation(t *testing.T) {
 		if r.Boundary < 0 || r.Boundary > len(r.Sorted) {
 			return false
 		}
-		seen := map[machine.ThreadID]bool{}
+		seen := map[platform.ThreadID]bool{}
 		for _, id := range r.Sorted {
 			if seen[id] {
 				return false

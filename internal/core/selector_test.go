@@ -3,34 +3,34 @@ package core
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 )
 
 // fakeObs builds an Observation by hand so Selector logic can be tested
 // in isolation from the machine.
 type obsSpec struct {
-	id       machine.ThreadID
+	id       platform.ThreadID
 	proc     int
 	class    ThreadClass
 	rate     float64
 	baseline float64
 	instr    float64
-	core     machine.CoreID
+	core     platform.CoreID
 	coreHigh bool
 	coreCap  float64
 }
 
 func makeObs(specs []obsSpec) *Observation {
 	obs := &Observation{
-		Class:    map[machine.ThreadID]ThreadClass{},
-		Rate:     map[machine.ThreadID]float64{},
-		Baseline: map[machine.ThreadID]float64{},
-		Instr:    map[machine.ThreadID]float64{},
-		CoreOf:   map[machine.ThreadID]machine.CoreID{},
-		Proc:     map[machine.ThreadID]int{},
-		HighBW:   map[machine.CoreID]bool{},
+		Class:    map[platform.ThreadID]ThreadClass{},
+		Rate:     map[platform.ThreadID]float64{},
+		Baseline: map[platform.ThreadID]float64{},
+		Instr:    map[platform.ThreadID]float64{},
+		CoreOf:   map[platform.ThreadID]platform.CoreID{},
+		Proc:     map[platform.ThreadID]int{},
+		HighBW:   map[platform.CoreID]bool{},
 	}
-	maxCore := machine.CoreID(0)
+	maxCore := platform.CoreID(0)
 	for _, s := range specs {
 		if s.core > maxCore {
 			maxCore = s.core
@@ -113,14 +113,14 @@ func TestSelectPairsRespectsSwapSize(t *testing.T) {
 	var specs []obsSpec
 	for i := 0; i < 8; i++ {
 		specs = append(specs, obsSpec{
-			id: machine.ThreadID(i), proc: 0, class: ComputeClass,
-			rate: 0.1 + float64(i)*0.01, baseline: 0.1, core: machine.CoreID(i), coreHigh: true,
+			id: platform.ThreadID(i), proc: 0, class: ComputeClass,
+			rate: 0.1 + float64(i)*0.01, baseline: 0.1, core: platform.CoreID(i), coreHigh: true,
 		})
 	}
 	for i := 8; i < 16; i++ {
 		specs = append(specs, obsSpec{
-			id: machine.ThreadID(i), proc: 1, class: MemoryClass,
-			rate: 3 + float64(i)*0.01, baseline: 3, instr: float64(i), core: machine.CoreID(i),
+			id: platform.ThreadID(i), proc: 1, class: MemoryClass,
+			rate: 3 + float64(i)*0.01, baseline: 3, instr: float64(i), core: platform.CoreID(i),
 		})
 	}
 	obs := makeObs(specs)
@@ -161,8 +161,8 @@ func TestSelectPairsSameClassBranch(t *testing.T) {
 	var specs []obsSpec
 	for i := 0; i < 6; i++ {
 		specs = append(specs, obsSpec{
-			id: machine.ThreadID(i), proc: i / 3, class: MemoryClass,
-			rate: 1 + float64(i), baseline: 1 + float64(i), core: machine.CoreID(i),
+			id: platform.ThreadID(i), proc: i / 3, class: MemoryClass,
+			rate: 1 + float64(i), baseline: 1 + float64(i), core: platform.CoreID(i),
 			coreHigh: i >= 3,
 		})
 	}

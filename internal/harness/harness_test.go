@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -9,11 +10,47 @@ import (
 )
 
 func TestRunSpecValidation(t *testing.T) {
-	if _, err := Run(RunSpec{Policy: PolicyCFS}); err == nil {
-		t.Error("nil workload accepted")
+	wl := workload.MustTable2(1)
+	cases := []struct {
+		name string
+		spec RunSpec
+		want error // nil = valid
+	}{
+		{"nil workload", RunSpec{Policy: PolicyCFS}, ErrNoWorkload},
+		{"nil workload unknown policy", RunSpec{Policy: "bogus"}, ErrNoWorkload},
+		{"unknown policy", RunSpec{Workload: wl, Policy: "bogus"}, ErrUnknownPolicy},
+		{"empty policy", RunSpec{Workload: wl}, ErrUnknownPolicy},
+		{"case sensitive", RunSpec{Workload: wl, Policy: "DIKE"}, ErrUnknownPolicy},
+		{"cfs", RunSpec{Workload: wl, Policy: PolicyCFS}, nil},
+		{"dio", RunSpec{Workload: wl, Policy: PolicyDIO}, nil},
+		{"dike", RunSpec{Workload: wl, Policy: PolicyDike}, nil},
+		{"dike-af", RunSpec{Workload: wl, Policy: PolicyDikeAF}, nil},
+		{"dike-ap", RunSpec{Workload: wl, Policy: PolicyDikeAP}, nil},
+		{"null", RunSpec{Workload: wl, Policy: PolicyNull}, nil},
+		{"rotate", RunSpec{Workload: wl, Policy: PolicyRotate}, nil},
+		{"oracle", RunSpec{Workload: wl, Policy: PolicyOracle}, nil},
 	}
-	if _, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: "bogus"}); err == nil {
-		t.Error("unknown policy accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+			// The error names the offending detail, not just the category.
+			if tc.spec.Policy != "" && !strings.Contains(err.Error(), tc.spec.Policy) {
+				t.Errorf("error %q does not mention policy %q", err, tc.spec.Policy)
+			}
+			// Run fails identically without starting a simulation.
+			if _, rerr := Run(tc.spec); !errors.Is(rerr, tc.want) {
+				t.Fatalf("Run() = %v, want errors.Is(%v)", rerr, tc.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dike/internal/core"
+	"dike/internal/replay"
+	"dike/internal/sched"
+	"dike/internal/sim"
+)
+
+// ReplayOutput is what a replayed run yields. There is no machine model
+// behind a replay, so there are no completion-time metrics — the
+// product is the policy's reconstructed decision stream, which the
+// replay backend has additionally verified against the recording.
+type ReplayOutput struct {
+	// Policy and Seed identify the recorded run.
+	Policy string
+	Seed   uint64
+	// Quanta is the number of quantum boundaries replayed.
+	Quanta int
+	// CompletedAt is the simulated time of the last replayed event.
+	CompletedAt sim.Time
+	// History, ErrSeries and the Pred* fields mirror RunOutput for Dike
+	// policies; zero otherwise.
+	History                   []core.QuantumRecord
+	ErrSeries                 []core.ErrPoint
+	PredMin, PredAvg, PredMax float64
+	WatchdogTrips             int
+	FailedSwaps               int
+	Sanitized                 core.SanitizeStats
+}
+
+// Replay re-runs a recorded log: it rebuilds the policy named in the
+// log header over a replay.Player and drives it through every recorded
+// quantum. The player verifies each decision against the recording, so
+// a nil error means the current policy code reproduced the recorded run
+// exactly; a *replay.DivergenceError pinpoints the first difference.
+func Replay(r io.Reader) (*ReplayOutput, error) {
+	p, err := replay.NewPlayer(r)
+	if err != nil {
+		return nil, err
+	}
+	meta := p.Meta()
+
+	var policy sched.Policy
+	var dk *core.Dike
+	switch meta.Policy {
+	case PolicyCFS:
+		policy = sched.NewCFS(p, meta.Seed)
+	case PolicyNull:
+		policy = sched.NewNull(p, meta.Seed)
+	case PolicyDIO:
+		policy = sched.NewDIO(p, meta.Seed)
+	case PolicyRotate:
+		policy = sched.NewRotate(p, meta.Seed)
+	case PolicyOracle:
+		if meta.Static == nil {
+			return nil, fmt.Errorf("harness: log for policy %q carries no static assignment", meta.Policy)
+		}
+		policy, err = sched.NewStatic(p, meta.Static)
+		if err != nil {
+			return nil, err
+		}
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+		cfg := core.DefaultConfig()
+		if len(meta.PolicyConfig) > 0 {
+			cfg = core.Config{}
+			if err := json.Unmarshal(meta.PolicyConfig, &cfg); err != nil {
+				return nil, fmt.Errorf("harness: log policy config: %w", err)
+			}
+		}
+		dk, err = core.New(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		policy = dk
+	default:
+		return nil, fmt.Errorf("%w %q (in replay log)", ErrUnknownPolicy, meta.Policy)
+	}
+
+	quanta, err := replay.Run(p, policy)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplayOutput{
+		Policy:      meta.Policy,
+		Seed:        meta.Seed,
+		Quanta:      quanta,
+		CompletedAt: p.LastTime(),
+	}
+	if dk != nil {
+		out.History = dk.History()
+		out.ErrSeries = dk.ErrorSeries()
+		out.PredMin, out.PredAvg, out.PredMax = dk.PredictionStats().MinAvgMax()
+		out.WatchdogTrips = dk.WatchdogTrips()
+		out.FailedSwaps = dk.FailedSwaps()
+		out.Sanitized = dk.SanitizedTotal()
+	}
+	return out, nil
+}
+
+// Digest renders a run's per-quantum decision stream as deterministic
+// text: one line per quantum record, floats in Go's shortest
+// round-trip form. A live run and a replay of its recording produce
+// byte-identical digests (the fairness gate values in particular are
+// compared bit-for-bit, not approximately); CI records a run once,
+// replays it twice and fails on any difference.
+func Digest(policy string, hist []core.QuantumRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s\nquanta %d\n", policy, len(hist))
+	for _, r := range hist {
+		fmt.Fprintf(&b, "q t=%d fairness=%s swap=%d quanta=%d cand=%d acc=%d mem=%d alive=%d held=%d\n",
+			int64(r.Time), strconv.FormatFloat(r.Fairness, 'g', -1, 64),
+			r.SwapSize, int64(r.Quanta), r.Candidates, r.Accepted,
+			r.MemThreads, r.Alive, r.Held)
+	}
+	return b.String()
+}

@@ -5,13 +5,18 @@
 package harness
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"dike/internal/core"
 	"dike/internal/fault"
 	"dike/internal/machine"
 	"dike/internal/metrics"
+	"dike/internal/platform"
+	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
 	"dike/internal/workload"
@@ -64,6 +69,38 @@ type RunSpec struct {
 	// this configuration. The injector is deterministic in its seed, so
 	// two runs with identical specs see the identical fault schedule.
 	Faults *fault.Config
+	// Record, if non-nil, receives a replay log of the run: every
+	// counter sample, quantum boundary and affinity action the policy
+	// exchanged with the platform. Feed it to Replay to re-run the
+	// policy's decisions without the machine model.
+	Record io.Writer
+}
+
+// Spec validation errors. Run wraps these with the offending detail;
+// match with errors.Is.
+var (
+	// ErrNoWorkload reports a spec without a workload.
+	ErrNoWorkload = errors.New("harness: spec has no workload")
+	// ErrUnknownPolicy reports a policy name outside the Policy* set.
+	ErrUnknownPolicy = errors.New("harness: unknown policy")
+)
+
+// knownPolicies is the accepted RunSpec.Policy set.
+var knownPolicies = map[string]bool{
+	PolicyCFS: true, PolicyDIO: true, PolicyDike: true, PolicyDikeAF: true,
+	PolicyDikeAP: true, PolicyNull: true, PolicyRotate: true, PolicyOracle: true,
+}
+
+// Validate reports the first problem with the spec, or nil. Run calls
+// it; sweep builders call it early to fail before spawning workers.
+func (s RunSpec) Validate() error {
+	if s.Workload == nil {
+		return fmt.Errorf("%w (policy %q)", ErrNoWorkload, s.Policy)
+	}
+	if !knownPolicies[s.Policy] {
+		return fmt.Errorf("%w %q", ErrUnknownPolicy, s.Policy)
+	}
+	return nil
 }
 
 // RunOutput bundles a finished run's metrics and, for Dike runs, the
@@ -95,8 +132,8 @@ type RunOutput struct {
 
 // Run executes one simulation to completion.
 func Run(spec RunSpec) (*RunOutput, error) {
-	if spec.Workload == nil {
-		return nil, fmt.Errorf("harness: spec has no workload")
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	mcfg := machine.DefaultConfig()
 	if spec.MachineConfig != nil {
@@ -119,47 +156,24 @@ func Run(spec RunSpec) (*RunOutput, error) {
 		m.SetDisruptor(inj)
 	}
 
-	var policy sched.Policy
-	var dk *core.Dike
-	switch spec.Policy {
-	case PolicyCFS:
-		policy = sched.NewCFS(m, spec.Seed)
-	case PolicyNull:
-		policy = sched.NewNull(m, spec.Seed)
-	case PolicyDIO:
-		policy = sched.NewDIO(m, spec.Seed)
-	case PolicyRotate:
-		policy = sched.NewRotate(m, spec.Seed)
-	case PolicyOracle:
-		intensity := make(map[machine.ThreadID]float64)
-		for _, ti := range inst.Threads {
-			intensity[ti.ID] = spec.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
-		}
-		policy, err = sched.NewStatic(m, sched.OracleAssignment(m, intensity))
-		if err != nil {
+	// The policy talks to the platform seam, never to the machine; when
+	// recording, a Recorder interposes so every interaction is logged.
+	var plat platform.Platform = m
+	var rec *replay.Recorder
+	if spec.Record != nil {
+		rec = replay.NewRecorder(m, spec.Record)
+		plat = rec
+	}
+
+	policy, dk, meta, err := buildPolicy(spec, plat, inst)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := rec.Start(meta); err != nil {
 			return nil, err
 		}
-	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
-		cfg := core.DefaultConfig()
-		if spec.DikeConfig != nil {
-			cfg = *spec.DikeConfig
-		}
-		switch spec.Policy {
-		case PolicyDike:
-			cfg.Goal = core.AdaptNone
-		case PolicyDikeAF:
-			cfg.Goal = core.AdaptFairness
-		case PolicyDikeAP:
-			cfg.Goal = core.AdaptPerformance
-		}
-		cfg.PlacementSeed = spec.Seed
-		dk, err = core.New(m, cfg)
-		if err != nil {
-			return nil, err
-		}
-		policy = dk
-	default:
-		return nil, fmt.Errorf("harness: unknown policy %q", spec.Policy)
+		policy = rec.WrapPolicy(policy)
 	}
 
 	ecfg := sim.DefaultConfig()
@@ -181,6 +195,11 @@ func Run(spec RunSpec) (*RunOutput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", spec.Policy, spec.Workload.Name, err)
 	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return nil, err
+		}
+	}
 
 	result, err := metrics.Collect(m, inst, spec.Policy)
 	if err != nil {
@@ -200,6 +219,61 @@ func Run(spec RunSpec) (*RunOutput, error) {
 		out.Sanitized = dk.SanitizedTotal()
 	}
 	return out, nil
+}
+
+// buildPolicy constructs spec's policy over the platform seam. It also
+// returns the Dike instance (nil for other policies) and the replay
+// metadata a recording of the run must carry to rebuild the policy: the
+// resolved Dike configuration, or the oracle's static assignment (which
+// is derived from workload ground truth unavailable at replay time).
+func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance) (sched.Policy, *core.Dike, replay.Meta, error) {
+	meta := replay.Meta{Policy: spec.Policy, Seed: spec.Seed}
+	switch spec.Policy {
+	case PolicyCFS:
+		return sched.NewCFS(plat, spec.Seed), nil, meta, nil
+	case PolicyNull:
+		return sched.NewNull(plat, spec.Seed), nil, meta, nil
+	case PolicyDIO:
+		return sched.NewDIO(plat, spec.Seed), nil, meta, nil
+	case PolicyRotate:
+		return sched.NewRotate(plat, spec.Seed), nil, meta, nil
+	case PolicyOracle:
+		intensity := make(map[platform.ThreadID]float64)
+		for _, ti := range inst.Threads {
+			intensity[ti.ID] = spec.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
+		}
+		st, err := sched.NewStatic(plat, sched.OracleAssignment(plat, intensity))
+		if err != nil {
+			return nil, nil, meta, err
+		}
+		meta.Static = st.Assignment()
+		return st, nil, meta, nil
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+		cfg := core.DefaultConfig()
+		if spec.DikeConfig != nil {
+			cfg = *spec.DikeConfig
+		}
+		switch spec.Policy {
+		case PolicyDike:
+			cfg.Goal = core.AdaptNone
+		case PolicyDikeAF:
+			cfg.Goal = core.AdaptFairness
+		case PolicyDikeAP:
+			cfg.Goal = core.AdaptPerformance
+		}
+		cfg.PlacementSeed = spec.Seed
+		dk, err := core.New(plat, cfg)
+		if err != nil {
+			return nil, nil, meta, err
+		}
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, nil, meta, err
+		}
+		meta.PolicyConfig = blob
+		return dk, dk, meta, nil
+	}
+	return nil, nil, meta, fmt.Errorf("%w %q", ErrUnknownPolicy, spec.Policy)
 }
 
 // RunAll executes specs concurrently on up to workers goroutines (each

@@ -211,13 +211,14 @@ type Machine struct {
 	threads map[ThreadID]*thread
 	order   []ThreadID // deterministic iteration order
 	groups  []*barrierGroup
+	smp     *sampler // lazily-created counter sampling stream
 
 	disruptor Disruptor
 
 	swaps       int
 	migrations  int
-	migFailures int // migrations silently dropped by the disruptor
-	crashes     int // threads terminated by injected crashes
+	migFailures int      // migrations silently dropped by the disruptor
+	crashes     int      // threads terminated by injected crashes
 	lastUtil    float64  // controller utilisation at the end of the last step
 	lastNow     sim.Time // time at the end of the last Step (for arrival checks)
 

@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"dike/internal/counters"
+	"dike/internal/platform"
+	"dike/internal/sim"
+)
+
+// sampler holds the machine's counter-snapshot state: the previous
+// per-thread and per-core counter values, so Sample can return deltas
+// exactly as a sampling profiler would.
+type sampler struct {
+	lastTime sim.Time
+	first    bool
+	prevT    map[ThreadID]counters.ThreadCounters
+	prevC    []counters.CoreCounters
+}
+
+// MemCapacity implements platform.Platform: the memory controller's
+// service capacity in misses/ms.
+func (m *Machine) MemCapacity() float64 { return m.cfg.MemCapacity }
+
+// ProcessOf implements platform.Platform; process membership is the
+// benchmark a thread belongs to.
+func (m *Machine) ProcessOf(id ThreadID) (int, error) { return m.BenchOf(id) }
+
+// Sample implements platform.Platform: it reads the counters at time now
+// and returns deltas since the previous call. The first call returns
+// zero deltas (Interval 0); callers typically skip scheduling on it.
+// The machine keeps a single sampling stream — one policy per machine.
+func (m *Machine) Sample(now sim.Time) *platform.Sample {
+	if m.smp == nil {
+		m.smp = &sampler{
+			first: true,
+			prevT: make(map[ThreadID]counters.ThreadCounters),
+			prevC: make([]counters.CoreCounters, m.file.NumCores()),
+		}
+	}
+	s := m.smp
+	interval := float64(now - s.lastTime)
+	if s.first {
+		interval = 0
+		s.first = false
+	}
+	out := &platform.Sample{
+		Interval: interval,
+		Threads:  make(map[ThreadID]counters.ThreadDelta),
+		Cores:    make([]counters.CoreDelta, m.file.NumCores()),
+		Instr:    make(map[ThreadID]float64),
+	}
+	for _, tid := range m.Alive() {
+		prev := s.prevT[tid]
+		delta := m.file.DiffThread(int(tid), prev, interval)
+		s.prevT[tid] = m.file.Thread(int(tid))
+		// The cumulative instruction count is read directly (not via the
+		// delta), so it survives individual lost samples.
+		out.Instr[tid] = m.file.Thread(int(tid)).Instructions
+		if m.disruptor != nil && interval > 0 {
+			// Counter faults: the read may be lost (thread absent from the
+			// sample) or corrupted. The underlying cumulative counters are
+			// untouched, so a later successful read recovers.
+			d, ok := m.disruptor.PerturbDelta(tid, now, delta)
+			if !ok {
+				continue
+			}
+			delta = d
+		}
+		out.Threads[tid] = delta
+	}
+	for c := 0; c < m.file.NumCores(); c++ {
+		out.Cores[c] = m.file.DiffCore(c, s.prevC[c], interval)
+		s.prevC[c] = m.file.Core(c)
+	}
+	s.lastTime = now
+	return out
+}
+
+// The machine is the reference platform implementation.
+var _ platform.Platform = (*Machine)(nil)

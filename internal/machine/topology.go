@@ -10,138 +10,44 @@
 // reacts to — differential slowdown of memory- vs compute-intensive
 // threads, core-type speed asymmetry, SMT interference and migration
 // cost.
+//
+// The machine is the reference implementation of platform.Platform:
+// schedulers drive it exclusively through that seam. The identifier and
+// topology types live in internal/platform (they are part of the seam);
+// the aliases below keep this package's historical names working.
 package machine
 
-import (
-	"errors"
-	"fmt"
-)
+import "dike/internal/platform"
 
 // CoreID identifies a logical core (an SMT lane).
-type CoreID int
+type CoreID = platform.CoreID
 
 // ThreadID identifies a thread.
-type ThreadID int
+type ThreadID = platform.ThreadID
 
 // CoreKind distinguishes the two frequency domains of the heterogeneous
 // machine.
-type CoreKind int
+type CoreKind = platform.CoreKind
 
 const (
 	// FastCore is a core in the TurboBoost socket (paper: 2.33 GHz pool).
-	FastCore CoreKind = iota
+	FastCore = platform.FastCore
 	// SlowCore is a core in the frequency-capped socket (paper: 1.21 GHz pool).
-	SlowCore
+	SlowCore = platform.SlowCore
 )
 
-// String returns "fast" or "slow".
-func (k CoreKind) String() string {
-	if k == FastCore {
-		return "fast"
-	}
-	return "slow"
-}
-
 // Core describes one logical core.
-type Core struct {
-	ID       CoreID
-	Kind     CoreKind
-	Speed    float64 // work units per ms at full, un-shared throughput
-	Physical int     // physical core index; SMT siblings share it
-}
+type Core = platform.Core
 
 // Topology is the set of logical cores of a machine.
-type Topology struct {
-	cores []Core
-	// siblings[physical] lists the logical cores on that physical core.
-	siblings map[int][]CoreID
-}
+type Topology = platform.Topology
 
 // TopologySpec parameterises BuildTopology.
-type TopologySpec struct {
-	FastPhysical int     // number of fast physical cores
-	SlowPhysical int     // number of slow physical cores
-	SMTWays      int     // logical cores per physical core
-	FastSpeed    float64 // work units/ms of a fast core
-	SlowSpeed    float64 // work units/ms of a slow core
-}
-
-// Validate reports the first problem with the spec, or nil.
-func (s TopologySpec) Validate() error {
-	switch {
-	case s.FastPhysical < 0 || s.SlowPhysical < 0:
-		return errors.New("machine: negative core count")
-	case s.FastPhysical+s.SlowPhysical == 0:
-		return errors.New("machine: no cores")
-	case s.SMTWays < 1:
-		return errors.New("machine: SMTWays must be >= 1")
-	case s.FastSpeed <= 0 || s.SlowSpeed <= 0:
-		return errors.New("machine: non-positive core speed")
-	case s.SlowSpeed > s.FastSpeed:
-		return errors.New("machine: slow cores faster than fast cores")
-	}
-	return nil
-}
+type TopologySpec = platform.TopologySpec
 
 // BuildTopology lays out logical cores: fast physical cores first, then
 // slow, with SMT lanes interleaved per physical core. Logical core ids are
 // dense in [0, Total).
 func BuildTopology(s TopologySpec) (*Topology, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	t := &Topology{siblings: make(map[int][]CoreID)}
-	id := CoreID(0)
-	phys := 0
-	add := func(n int, kind CoreKind, speed float64) {
-		for i := 0; i < n; i++ {
-			for w := 0; w < s.SMTWays; w++ {
-				c := Core{ID: id, Kind: kind, Speed: speed, Physical: phys}
-				t.cores = append(t.cores, c)
-				t.siblings[phys] = append(t.siblings[phys], id)
-				id++
-			}
-			phys++
-		}
-	}
-	add(s.FastPhysical, FastCore, s.FastSpeed)
-	add(s.SlowPhysical, SlowCore, s.SlowSpeed)
-	return t, nil
-}
-
-// NumCores returns the number of logical cores.
-func (t *Topology) NumCores() int { return len(t.cores) }
-
-// Core returns the descriptor for logical core id. It panics on an
-// out-of-range id.
-func (t *Topology) Core(id CoreID) Core {
-	if int(id) < 0 || int(id) >= len(t.cores) {
-		panic(fmt.Sprintf("machine: core %d out of range [0,%d)", id, len(t.cores)))
-	}
-	return t.cores[id]
-}
-
-// Cores returns all logical cores in id order (shared slice; do not mutate).
-func (t *Topology) Cores() []Core { return t.cores }
-
-// Siblings returns the logical cores sharing core id's physical core,
-// including id itself.
-func (t *Topology) Siblings(id CoreID) []CoreID {
-	return t.siblings[t.Core(id).Physical]
-}
-
-// FastCores returns the ids of all fast logical cores.
-func (t *Topology) FastCores() []CoreID { return t.kind(FastCore) }
-
-// SlowCores returns the ids of all slow logical cores.
-func (t *Topology) SlowCores() []CoreID { return t.kind(SlowCore) }
-
-func (t *Topology) kind(k CoreKind) []CoreID {
-	var out []CoreID
-	for _, c := range t.cores {
-		if c.Kind == k {
-			out = append(out, c.ID)
-		}
-	}
-	return out
+	return platform.BuildTopology(s)
 }

@@ -1,0 +1,92 @@
+// Package platform defines the seam between scheduling policy and the
+// system being scheduled: the narrow set of observations and actions a
+// userspace scheduler has on any machine, real or modelled.
+//
+// A policy may read the core topology, sample per-thread and per-core
+// performance counters at quantum boundaries, query OS-visible thread
+// state (which core a thread is bound to, which process it belongs to,
+// which threads are alive), and act exclusively through affinity calls:
+// Place, Migrate and Swap. Nothing else crosses the seam — no ground
+// truth about programs, no machine-model internals, no direct access to
+// simulated execution state. DESIGN.md records the rules.
+//
+// Two backends implement the interface: internal/machine (the full
+// contention-modelled simulator) and internal/replay (a deterministic
+// record/replay log player used as a fast regression corpus for
+// scheduler decisions). The conformance suite in platformtest holds
+// every backend to the same contract.
+package platform
+
+import (
+	"dike/internal/counters"
+	"dike/internal/sim"
+)
+
+// Sample is one quantum's worth of counter readings: what a userspace
+// scheduler learns from reading the PMU at a quantum boundary.
+type Sample struct {
+	// Interval is the elapsed time since the previous sample, ms. Zero
+	// on the very first sample of a run.
+	Interval float64
+	// Threads maps each alive thread to its counter delta. A thread may
+	// be missing when its counter read was lost (fault injection).
+	Threads map[ThreadID]counters.ThreadDelta
+	// Cores holds per-core deltas, indexed by core id.
+	Cores []counters.CoreDelta
+	// Instr is each alive thread's cumulative retired-instruction count
+	// — the PMU-visible progress proxy (a cumulative counter, so it is
+	// robust to individual lost samples).
+	Instr map[ThreadID]float64
+}
+
+// AccessRate returns the measured memory access rate of tid during this
+// sample (misses/ms), or 0 if the thread was not sampled.
+func (s *Sample) AccessRate(tid ThreadID) float64 {
+	return s.Threads[tid].AccessRate()
+}
+
+// Platform is everything a scheduling policy may see and do. The
+// simulated machine implements it directly; the replay backend
+// implements it from a recorded log. Implementations are not required
+// to be safe for concurrent use — one platform serves one policy.
+//
+// Reads (Topology, MemCapacity, Threads, Alive, CoreOf, ProcessOf) are
+// idempotent and may be called freely. Sample advances the sampling
+// stream — call it once per quantum. The affinity calls (Place,
+// Migrate, Swap) may take effect partially or not at all on a faulty
+// platform; policies that care must verify through CoreOf.
+type Platform interface {
+	// Topology returns the core layout. The returned value is shared
+	// and immutable for the life of the platform.
+	Topology() *Topology
+	// MemCapacity returns the memory controller service capacity in
+	// misses/ms — the physical bound schedulers use to clamp saturated
+	// counter readings. (On real hardware this comes from platform
+	// documentation or a calibration run.)
+	MemCapacity() float64
+	// Threads returns all thread ids ever registered, in registration
+	// order.
+	Threads() []ThreadID
+	// Alive returns the ids of unfinished threads that have arrived, in
+	// registration order.
+	Alive() []ThreadID
+	// CoreOf returns the core a thread is currently bound to.
+	CoreOf(id ThreadID) (CoreID, error)
+	// ProcessOf returns the process (tgid analogue) a thread belongs
+	// to. Process membership is OS-visible, so reading it carries no a
+	// priori knowledge about application character.
+	ProcessOf(id ThreadID) (int, error)
+	// Sample reads the performance counters at time now and returns
+	// deltas since the previous call. The first call of a run returns
+	// zero deltas with Interval 0.
+	Sample(now sim.Time) *Sample
+	// Place sets a thread's initial core without migration penalty.
+	Place(id ThreadID, core CoreID) error
+	// Migrate moves a thread to a new core, paying the platform's
+	// migration cost. On a faulty platform the affinity change may be
+	// silently lost.
+	Migrate(id ThreadID, core CoreID, now sim.Time) error
+	// Swap exchanges the cores of two threads (a pair of migrations, no
+	// third core involved).
+	Swap(a, b ThreadID, now sim.Time) error
+}

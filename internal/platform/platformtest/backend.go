@@ -1,0 +1,34 @@
+// Package platformtest holds the platform conformance suite (run
+// against every backend; see conformance.go) and the backend
+// constructors tests outside the machine package use to obtain a
+// concrete platform.
+//
+// The re-exported aliases exist so that scheduler tests — which must
+// not depend on internal/machine directly (the policy layers are
+// backend-agnostic by construction, tests included) — can still build
+// and drive the reference simulated backend. This package is the one
+// place on the policy side of the seam that knows the backends.
+package platformtest
+
+import (
+	"dike/internal/machine"
+)
+
+// Machine is the simulated-machine backend (alias of machine.Machine).
+type Machine = machine.Machine
+
+// Config parameterises the simulated-machine backend.
+type Config = machine.Config
+
+// Demand is a thread's instantaneous resource demand per work unit.
+type Demand = machine.Demand
+
+// ConstProgram is a fixed-work, constant-demand thread program.
+type ConstProgram = machine.ConstProgram
+
+// DefaultConfig returns the paper's Table I machine configuration.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated-machine backend, panicking on an
+// invalid configuration (test configurations are static).
+func NewMachine(cfg Config) *Machine { return machine.MustNew(cfg) }

@@ -1,0 +1,80 @@
+package platformtest
+
+import (
+	"bytes"
+	"testing"
+
+	"dike/internal/platform"
+	"dike/internal/replay"
+	"dike/internal/sim"
+)
+
+// conformanceMachine builds the standard conformance population: six
+// long-running threads in three processes (two threads each) on a
+// 2 fast + 2 slow physical, 2-way SMT topology (8 logical cores).
+func conformanceMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Topology.FastPhysical = 2
+	cfg.Topology.SlowPhysical = 2
+	m := NewMachine(cfg)
+	for i := 0; i < 6; i++ {
+		prog := ConstProgram{Work: 1e6, Demand: Demand{AccessesPerWork: 4, MissRatio: 0.2}}
+		if err := m.AddThread(platform.ThreadID(i), i/2, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestMachineConformance holds the simulated machine to the platform
+// contract.
+func TestMachineConformance(t *testing.T) {
+	m := conformanceMachine(t)
+	Conformance(t, &Instance{P: m, Advance: m.Step})
+}
+
+// TestReplayConformance holds the record/replay backend to the same
+// contract: the conformance script is recorded against a machine, then
+// run a second time against a player of that recording. The player
+// must both satisfy every assertion the machine did and verify that the
+// second pass issues the identical call stream.
+func TestReplayConformance(t *testing.T) {
+	m := conformanceMachine(t)
+	var buf bytes.Buffer
+	rec := replay.NewRecorder(m, &buf)
+	if err := rec.Start(replay.Meta{Policy: "conformance", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	Conformance(t, &Instance{
+		P:        rec,
+		Advance:  m.Step,
+		Boundary: func(now sim.Time) { _ = rec.Quantum(now) },
+	})
+	if t.Failed() {
+		t.Fatal("machine leg failed; replay leg would be meaningless")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := replay.NewPlayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Conformance(t, &Instance{
+		P: p,
+		Boundary: func(now sim.Time) {
+			got, ok, err := p.NextQuantum()
+			if err != nil {
+				t.Fatalf("NextQuantum at %v: %v", now, err)
+			}
+			if !ok || got != now {
+				t.Fatalf("NextQuantum = (%v, %v), want (%v, true)", got, ok, now)
+			}
+		},
+	})
+	if err := p.Err(); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+package replay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dike/internal/counters"
+	"dike/internal/platform"
+	"dike/internal/sim"
+)
+
+// ErrDivergence is the sentinel matched by errors.Is when a replayed
+// policy's behaviour departs from the recorded stream. The concrete
+// error is a *DivergenceError naming the event where replay broke.
+var ErrDivergence = errors.New("replay: run diverged from recording")
+
+// DivergenceError reports the first point at which the replayed run
+// stopped matching the recorded one.
+type DivergenceError struct {
+	// Index is the 0-based index of the log event where replay diverged.
+	Index int
+	// Want describes the recorded event; Got describes the call the
+	// policy made instead (or "" when the log ended or had spare events).
+	Want, Got string
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("%v: event %d: recorded %s, got %s", ErrDivergence, e.Index, e.Want, e.Got)
+}
+
+// Unwrap makes errors.Is(err, ErrDivergence) succeed.
+func (e *DivergenceError) Unwrap() error { return ErrDivergence }
+
+// describe renders an event for divergence messages.
+func describe(ev *event) string {
+	if ev == nil {
+		return "<end of log>"
+	}
+	switch ev.K {
+	case evQuantum:
+		return fmt.Sprintf("quantum(t=%v)", ev.Now)
+	case evSample:
+		return fmt.Sprintf("sample(t=%v)", ev.Now)
+	case evPlace:
+		return fmt.Sprintf("place(thread=%d, core=%d)", ev.A, ev.Core)
+	case evMigrate:
+		return fmt.Sprintf("migrate(thread=%d, core=%d, t=%v)", ev.A, ev.Core, ev.Now)
+	case evSwap:
+		return fmt.Sprintf("swap(%d, %d, t=%v)", ev.A, ev.B, ev.Now)
+	}
+	return fmt.Sprintf("unknown event %q", ev.K)
+}
+
+// Player implements platform.Platform from a recorded log, with no
+// machine model behind it. Reads are served from replayed state;
+// Sample and the affinity calls are verified against the recorded
+// stream in order and produce the recorded outcomes. Drive the run
+// with Run, which fires the policy at each recorded quantum boundary.
+type Player struct {
+	hdr       header
+	dec       *json.Decoder
+	topo      *platform.Topology
+	threads   []platform.ThreadID
+	procs     map[platform.ThreadID]int
+	placement map[platform.ThreadID]platform.CoreID
+	alive     []platform.ThreadID
+
+	pending *event // one-event lookahead
+	idx     int    // index of the next event to consume
+	lastNow sim.Time
+	quanta  int
+	sticky  error // first divergence; latched because Sample cannot return an error
+}
+
+// NewPlayer reads the log header from r and returns a player positioned
+// before the first event.
+func NewPlayer(r io.Reader) (*Player, error) {
+	dec := json.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("replay: reading header: %w", err)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("replay: log version %d, player supports %d", h.Version, Version)
+	}
+	cores := make([]platform.Core, len(h.Cores))
+	for i, c := range h.Cores {
+		cores[i] = platform.Core{ID: c.ID, Kind: c.Kind, Speed: float64(c.Speed), Physical: c.Physical}
+	}
+	topo, err := platform.NewTopology(cores)
+	if err != nil {
+		return nil, fmt.Errorf("replay: header: %w", err)
+	}
+	p := &Player{
+		hdr:       h,
+		dec:       dec,
+		topo:      topo,
+		procs:     make(map[platform.ThreadID]int, len(h.Threads)),
+		placement: make(map[platform.ThreadID]platform.CoreID, len(h.Threads)),
+	}
+	for _, t := range h.Threads {
+		if _, ok := p.procs[t.ID]; ok {
+			return nil, fmt.Errorf("replay: header: duplicate thread %d", t.ID)
+		}
+		p.threads = append(p.threads, t.ID)
+		p.procs[t.ID] = t.Proc
+		p.placement[t.ID] = 0
+	}
+	return p, nil
+}
+
+// Meta returns the policy metadata the log was recorded under.
+func (p *Player) Meta() Meta {
+	return Meta{Policy: p.hdr.Policy, Seed: p.hdr.Seed, PolicyConfig: p.hdr.PolicyConfig, Static: p.hdr.Static}
+}
+
+// Quanta returns how many quantum boundaries have been replayed.
+func (p *Player) Quanta() int { return p.quanta }
+
+// LastTime returns the simulated time of the most recent event.
+func (p *Player) LastTime() sim.Time { return p.lastNow }
+
+// Err returns the first divergence or decode error hit so far, or nil.
+func (p *Player) Err() error { return p.sticky }
+
+// peek returns the next event without consuming it, or nil at a clean
+// end of log.
+func (p *Player) peek() (*event, error) {
+	if p.sticky != nil {
+		return nil, p.sticky
+	}
+	if p.pending != nil {
+		return p.pending, nil
+	}
+	var ev event
+	if err := p.dec.Decode(&ev); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil
+		}
+		p.sticky = fmt.Errorf("replay: event %d: %w", p.idx, err)
+		return nil, p.sticky
+	}
+	p.pending = &ev
+	return p.pending, nil
+}
+
+// take consumes the event returned by the last peek.
+func (p *Player) take() {
+	p.pending = nil
+	p.idx++
+}
+
+// expect consumes the next event, requiring it to match the call the
+// policy just made. `got` describes that call; match checks argument
+// equality. On any mismatch the divergence is latched and returned.
+func (p *Player) expect(got string, match func(*event) bool) (*event, error) {
+	ev, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if ev == nil || !match(ev) {
+		p.sticky = &DivergenceError{Index: p.idx, Want: describe(ev), Got: got}
+		return nil, p.sticky
+	}
+	p.take()
+	p.lastNow = ev.Now
+	return ev, nil
+}
+
+// recordedErr reconstructs an error recorded on an event.
+func recordedErr(ev *event) error {
+	if ev.Err == "" {
+		return nil
+	}
+	return errors.New(ev.Err)
+}
+
+// Topology implements platform.Platform.
+func (p *Player) Topology() *platform.Topology { return p.topo }
+
+// MemCapacity implements platform.Platform.
+func (p *Player) MemCapacity() float64 { return float64(p.hdr.MemCapacity) }
+
+// Threads implements platform.Platform.
+func (p *Player) Threads() []platform.ThreadID {
+	out := make([]platform.ThreadID, len(p.threads))
+	copy(out, p.threads)
+	return out
+}
+
+// Alive implements platform.Platform: the alive set recorded at the
+// current quantum boundary (empty before the first).
+func (p *Player) Alive() []platform.ThreadID {
+	out := make([]platform.ThreadID, len(p.alive))
+	copy(out, p.alive)
+	return out
+}
+
+// CoreOf implements platform.Platform from replayed placement state.
+func (p *Player) CoreOf(id platform.ThreadID) (platform.CoreID, error) {
+	c, ok := p.placement[id]
+	if !ok {
+		return 0, fmt.Errorf("replay: unknown thread %d", id)
+	}
+	return c, nil
+}
+
+// ProcessOf implements platform.Platform.
+func (p *Player) ProcessOf(id platform.ThreadID) (int, error) {
+	proc, ok := p.procs[id]
+	if !ok {
+		return 0, fmt.Errorf("replay: unknown thread %d", id)
+	}
+	return proc, nil
+}
+
+// Sample implements platform.Platform: it verifies the call against the
+// stream and returns the recorded readings. Sample cannot return an
+// error, so on divergence it returns an empty zero-interval sample —
+// which policies treat as "nothing measured yet" — and latches the
+// divergence for Run to surface.
+func (p *Player) Sample(now sim.Time) *platform.Sample {
+	ev, err := p.expect(fmt.Sprintf("sample(t=%v)", now), func(ev *event) bool {
+		return ev.K == evSample && ev.Now == now
+	})
+	if err != nil {
+		return &platform.Sample{
+			Threads: map[platform.ThreadID]counters.ThreadDelta{},
+			Instr:   map[platform.ThreadID]float64{},
+		}
+	}
+	return fromWire(ev.S)
+}
+
+// Place implements platform.Platform, applying the recorded outcome.
+func (p *Player) Place(id platform.ThreadID, core platform.CoreID) error {
+	ev, err := p.expect(fmt.Sprintf("place(thread=%d, core=%d)", id, core), func(ev *event) bool {
+		return ev.K == evPlace && ev.A == id && ev.Core == core
+	})
+	if err != nil {
+		return err
+	}
+	if ev.Err == "" {
+		p.placement[id] = ev.PostA
+	}
+	return recordedErr(ev)
+}
+
+// Migrate implements platform.Platform. The thread lands on the
+// recorded post-migration core, which on a faulty recorded platform may
+// be where it already was (silently dropped affinity change).
+func (p *Player) Migrate(id platform.ThreadID, core platform.CoreID, now sim.Time) error {
+	ev, err := p.expect(fmt.Sprintf("migrate(thread=%d, core=%d, t=%v)", id, core, now), func(ev *event) bool {
+		return ev.K == evMigrate && ev.A == id && ev.Core == core && ev.Now == now
+	})
+	if err != nil {
+		return err
+	}
+	if ev.Err == "" {
+		p.placement[id] = ev.PostA
+	}
+	return recordedErr(ev)
+}
+
+// Swap implements platform.Platform, applying both recorded outcomes.
+func (p *Player) Swap(a, b platform.ThreadID, now sim.Time) error {
+	ev, err := p.expect(fmt.Sprintf("swap(%d, %d, t=%v)", a, b, now), func(ev *event) bool {
+		return ev.K == evSwap && ev.A == a && ev.B == b && ev.Now == now
+	})
+	if err != nil {
+		return err
+	}
+	if ev.Err == "" {
+		p.placement[a] = ev.PostA
+		p.placement[b] = ev.PostB
+	}
+	return recordedErr(ev)
+}
+
+// NextQuantum advances to the next recorded quantum boundary, loading
+// its alive set. It returns ok=false at a clean end of log. A
+// non-quantum event in next position means the policy consumed fewer
+// events in the previous quantum than the recording holds — that, too,
+// is divergence.
+func (p *Player) NextQuantum() (now sim.Time, ok bool, err error) {
+	ev, err := p.peek()
+	if err != nil {
+		return 0, false, err
+	}
+	if ev == nil {
+		return 0, false, nil
+	}
+	if ev.K != evQuantum {
+		p.sticky = &DivergenceError{Index: p.idx, Want: describe(ev), Got: "<quantum boundary: recorded events left unconsumed>"}
+		return 0, false, p.sticky
+	}
+	p.take()
+	p.lastNow = ev.Now
+	p.alive = ev.Alive
+	p.quanta++
+	return ev.Now, true, nil
+}
+
+// Run drives pol through every recorded quantum: for each boundary it
+// loads the recorded alive set and invokes pol.Quantum at the recorded
+// time. It returns the number of quanta replayed and the first
+// divergence, decode or policy error.
+func Run(p *Player, pol sim.Policy) (int, error) {
+	for {
+		now, ok, err := p.NextQuantum()
+		if err != nil {
+			return p.quanta, err
+		}
+		if !ok {
+			return p.quanta, nil
+		}
+		if err := pol.Quantum(now); err != nil {
+			// A latched divergence is the root cause; prefer it over the
+			// policy's view of the garbage it was handed.
+			if p.sticky != nil {
+				return p.quanta, p.sticky
+			}
+			return p.quanta, fmt.Errorf("replay: policy %q failed at %v: %w", pol.Name(), now, err)
+		}
+		if p.sticky != nil {
+			return p.quanta, p.sticky
+		}
+	}
+}
+
+var _ platform.Platform = (*Player)(nil)

@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dike/internal/counters"
+	"dike/internal/platform"
+)
+
+// TestJfloatRoundTrip checks the log's float encoding is exact: finite
+// values survive bit-identically (shortest round-trip formatting) and
+// the non-finite values fault injection produces survive at all.
+func TestJfloatRoundTrip(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.1, 1.0 / 3.0, math.Pi, 1e-300, -1e300,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(jfloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got jfloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(float64(got)) {
+				t.Errorf("NaN round-tripped to %v", float64(got))
+			}
+			continue
+		}
+		if math.Float64bits(float64(got)) != math.Float64bits(v) {
+			t.Errorf("%v round-tripped to %v (bits differ)", v, float64(got))
+		}
+	}
+}
+
+func (f *jfloat) mustUnmarshalFail(t *testing.T, in string) {
+	t.Helper()
+	if err := f.UnmarshalJSON([]byte(in)); err == nil {
+		t.Errorf("UnmarshalJSON(%q) accepted garbage", in)
+	}
+}
+
+func TestJfloatRejectsGarbage(t *testing.T) {
+	var f jfloat
+	f.mustUnmarshalFail(t, `"Infinity"`)
+	f.mustUnmarshalFail(t, `"nan"`)
+	f.mustUnmarshalFail(t, `{}`)
+}
+
+// TestSampleWireRoundTrip pushes a sample with corrupted (non-finite)
+// readings through serialisation and back.
+func TestSampleWireRoundTrip(t *testing.T) {
+	s := &platform.Sample{
+		Interval: 500,
+		Threads: map[platform.ThreadID]counters.ThreadDelta{
+			0: {Interval: 500, Work: 12.5, Instructions: 12500, Accesses: 50, Misses: 5, Migrations: 2},
+			3: {Interval: 500, Work: math.NaN(), Instructions: math.Inf(1), Accesses: -3, Misses: 0.1},
+		},
+		Cores: []counters.CoreDelta{
+			{Interval: 500, ServedMisses: 5},
+			{Interval: 500, ServedMisses: math.Inf(-1)},
+		},
+		Instr: map[platform.ThreadID]float64{0: 99999.25, 3: 1.0 / 3.0},
+	}
+	b, err := json.Marshal(toWire(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w wireSample
+	if err := json.Unmarshal(b, &w); err != nil {
+		t.Fatal(err)
+	}
+	got := fromWire(&w)
+	if got.Interval != s.Interval {
+		t.Errorf("interval %v != %v", got.Interval, s.Interval)
+	}
+	d := got.Threads[0]
+	if d != s.Threads[0] {
+		t.Errorf("thread 0 delta %+v != %+v", d, s.Threads[0])
+	}
+	d3 := got.Threads[3]
+	if !math.IsNaN(d3.Work) || !math.IsInf(d3.Instructions, 1) || d3.Accesses != -3 {
+		t.Errorf("corrupted delta did not survive: %+v", d3)
+	}
+	if len(got.Cores) != 2 || got.Cores[0] != s.Cores[0] || !math.IsInf(got.Cores[1].ServedMisses, -1) {
+		t.Errorf("core deltas did not survive: %+v", got.Cores)
+	}
+	if got.Instr[0] != s.Instr[0] || got.Instr[3] != s.Instr[3] {
+		t.Errorf("instr map did not survive: %+v", got.Instr)
+	}
+}

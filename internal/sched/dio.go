@@ -3,7 +3,7 @@ package sched
 import (
 	"sort"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
@@ -19,11 +19,10 @@ import (
 // [its] threads in every quanta ignoring the overhead of thread
 // migrations."
 type DIO struct {
-	m       *machine.Machine
-	sampler *Sampler
-	seed    uint64
-	ql      sim.Time
-	placed  bool
+	p      platform.Platform
+	seed   uint64
+	ql     sim.Time
+	placed bool
 }
 
 // DIOQuantum is DIO's scheduling quantum (100 ms; the swap counts in
@@ -31,9 +30,9 @@ type DIO struct {
 // minutes).
 const DIOQuantum sim.Time = 100
 
-// NewDIO returns a DIO policy over m.
-func NewDIO(m *machine.Machine, seed uint64) *DIO {
-	return &DIO{m: m, sampler: NewSampler(m), seed: seed, ql: DIOQuantum}
+// NewDIO returns a DIO policy over p.
+func NewDIO(p platform.Platform, seed uint64) *DIO {
+	return &DIO{p: p, seed: seed, ql: DIOQuantum}
 }
 
 // Name implements Policy.
@@ -45,24 +44,24 @@ func (d *DIO) QuantaLength() sim.Time { return d.ql }
 // Quantum implements Policy.
 func (d *DIO) Quantum(now sim.Time) error {
 	if !d.placed {
-		if err := SpreadPlacement(d.m, d.seed); err != nil {
+		if err := SpreadPlacement(d.p, d.seed); err != nil {
 			return err
 		}
 		d.placed = true
-		d.sampler.Sample(now) // establish the counter baseline
+		d.p.Sample(now) // establish the counter baseline
 		return nil
 	}
-	sample := d.sampler.Sample(now)
+	sample := d.p.Sample(now)
 	if sample.Interval <= 0 {
 		return nil
 	}
-	alive := d.m.Alive()
+	alive := d.p.Alive()
 	if len(alive) < 2 {
 		return nil
 	}
 	// Sort by miss rate, highest first. Thread id breaks ties so the
 	// order — and therefore the whole run — is deterministic.
-	sorted := make([]machine.ThreadID, len(alive))
+	sorted := make([]platform.ThreadID, len(alive))
 	copy(sorted, alive)
 	sort.Slice(sorted, func(i, j int) bool {
 		ri, rj := sample.AccessRate(sorted[i]), sample.AccessRate(sorted[j])
@@ -72,5 +71,5 @@ func (d *DIO) Quantum(now sim.Time) error {
 		return sorted[i] < sorted[j]
 	})
 	// Swap the extreme pair: highest miss rate with lowest.
-	return d.m.Swap(sorted[0], sorted[len(sorted)-1], now)
+	return d.p.Swap(sorted[0], sorted[len(sorted)-1], now)
 }

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"sort"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
@@ -15,7 +15,7 @@ import (
 // threads extremely slow": rotation equalizes runtimes almost perfectly
 // while paying a migration for every thread every quantum.
 type Rotate struct {
-	m      *machine.Machine
+	p      platform.Platform
 	seed   uint64
 	ql     sim.Time
 	placed bool
@@ -25,8 +25,8 @@ type Rotate struct {
 const RotateQuantum sim.Time = 1000
 
 // NewRotate returns the rotation policy.
-func NewRotate(m *machine.Machine, seed uint64) *Rotate {
-	return &Rotate{m: m, seed: seed, ql: RotateQuantum}
+func NewRotate(p platform.Platform, seed uint64) *Rotate {
+	return &Rotate{p: p, seed: seed, ql: RotateQuantum}
 }
 
 // Name implements Policy.
@@ -38,13 +38,13 @@ func (r *Rotate) QuantaLength() sim.Time { return r.ql }
 // Quantum implements Policy.
 func (r *Rotate) Quantum(now sim.Time) error {
 	if !r.placed {
-		if err := SpreadPlacement(r.m, r.seed); err != nil {
+		if err := SpreadPlacement(r.p, r.seed); err != nil {
 			return err
 		}
 		r.placed = true
 		return nil
 	}
-	alive := r.m.Alive()
+	alive := r.p.Alive()
 	if len(alive) < 2 {
 		return nil
 	}
@@ -52,16 +52,16 @@ func (r *Rotate) Quantum(now sim.Time) error {
 	// occupied core (a single cycle), so the set of occupied cores is
 	// preserved and every thread migrates once.
 	sort.Slice(alive, func(i, j int) bool {
-		ci, _ := r.m.CoreOf(alive[i])
-		cj, _ := r.m.CoreOf(alive[j])
+		ci, _ := r.p.CoreOf(alive[i])
+		cj, _ := r.p.CoreOf(alive[j])
 		if ci != cj {
 			return ci < cj
 		}
 		return alive[i] < alive[j]
 	})
-	cores := make([]machine.CoreID, len(alive))
+	cores := make([]platform.CoreID, len(alive))
 	for i, id := range alive {
-		c, err := r.m.CoreOf(id)
+		c, err := r.p.CoreOf(id)
 		if err != nil {
 			return err
 		}
@@ -69,7 +69,7 @@ func (r *Rotate) Quantum(now sim.Time) error {
 	}
 	for i, id := range alive {
 		dest := cores[(i+1)%len(cores)]
-		if err := r.m.Migrate(id, dest, now); err != nil {
+		if err := r.p.Migrate(id, dest, now); err != nil {
 			return err
 		}
 	}
@@ -82,20 +82,20 @@ func (r *Rotate) Quantum(now sim.Time) error {
 // in the paper's related work); with a bad assignment it is a worst-case
 // reference.
 type Static struct {
-	m          *machine.Machine
-	assignment map[machine.ThreadID]machine.CoreID
+	p          platform.Platform
+	assignment map[platform.ThreadID]platform.CoreID
 	placed     bool
 }
 
 // NewStatic returns a static policy with the given thread→core map. All
 // registered threads must be covered.
-func NewStatic(m *machine.Machine, assignment map[machine.ThreadID]machine.CoreID) (*Static, error) {
-	for _, id := range m.Threads() {
+func NewStatic(p platform.Platform, assignment map[platform.ThreadID]platform.CoreID) (*Static, error) {
+	for _, id := range p.Threads() {
 		if _, ok := assignment[id]; !ok {
 			return nil, errors.New("sched: static assignment missing thread")
 		}
 	}
-	return &Static{m: m, assignment: assignment}, nil
+	return &Static{p: p, assignment: assignment}, nil
 }
 
 // Name implements Policy.
@@ -104,13 +104,26 @@ func (s *Static) Name() string { return "static" }
 // QuantaLength implements Policy.
 func (s *Static) QuantaLength() sim.Time { return 1000 }
 
-// Quantum implements Policy.
+// Assignment returns the policy's thread→core map (shared; do not
+// mutate). Recording backends persist it so a static run can be
+// replayed without the workload that derived it.
+func (s *Static) Assignment() map[platform.ThreadID]platform.CoreID { return s.assignment }
+
+// Quantum implements Policy. Threads are placed in ascending id order so
+// the platform sees a deterministic call sequence (map iteration order
+// would differ between otherwise-identical runs, which record/replay
+// verification would flag as divergence).
 func (s *Static) Quantum(sim.Time) error {
 	if s.placed {
 		return nil
 	}
-	for id, core := range s.assignment {
-		if err := s.m.Place(id, core); err != nil {
+	ids := make([]platform.ThreadID, 0, len(s.assignment))
+	for id := range s.assignment {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := s.p.Place(id, s.assignment[id]); err != nil {
 			return err
 		}
 	}
@@ -125,12 +138,12 @@ func (s *Static) Quantum(sim.Time) error {
 // ground-truth misses-per-work; the harness derives it from the workload
 // definition (information a real system would need offline profiling
 // for — hence "oracle").
-func OracleAssignment(m *machine.Machine, intensity map[machine.ThreadID]float64) map[machine.ThreadID]machine.CoreID {
-	topo := m.Topology()
+func OracleAssignment(p platform.Platform, intensity map[platform.ThreadID]float64) map[platform.ThreadID]platform.CoreID {
+	topo := p.Topology()
 	// Core order: fast physical cores lane-0, slow lane-0, fast lane-1, …
 	type laneKey struct{ lane, phys int }
 	physSeen := map[int]int{}
-	byLane := map[laneKey]machine.CoreID{}
+	byLane := map[laneKey]platform.CoreID{}
 	lanes := 0
 	for _, c := range topo.Cores() {
 		lane := physSeen[c.Physical]
@@ -142,8 +155,8 @@ func OracleAssignment(m *machine.Machine, intensity map[machine.ThreadID]float64
 	}
 	// All fast lanes first (a shared fast core still beats a dedicated
 	// slow one at the default SMT penalty), then all slow lanes.
-	var order []machine.CoreID
-	for _, kind := range []machine.CoreKind{machine.FastCore, machine.SlowCore} {
+	var order []platform.CoreID
+	for _, kind := range []platform.CoreKind{platform.FastCore, platform.SlowCore} {
 		for lane := 0; lane < lanes; lane++ {
 			for phys := 0; phys < len(physSeen); phys++ {
 				id, ok := byLane[laneKey{lane, phys}]
@@ -154,7 +167,7 @@ func OracleAssignment(m *machine.Machine, intensity map[machine.ThreadID]float64
 		}
 	}
 	// Threads by descending intensity, ties by id.
-	threads := m.Threads()
+	threads := p.Threads()
 	sort.Slice(threads, func(i, j int) bool {
 		a, b := intensity[threads[i]], intensity[threads[j]]
 		if a != b {
@@ -162,7 +175,7 @@ func OracleAssignment(m *machine.Machine, intensity map[machine.ThreadID]float64
 		}
 		return threads[i] < threads[j]
 	})
-	out := make(map[machine.ThreadID]machine.CoreID, len(threads))
+	out := make(map[platform.ThreadID]platform.CoreID, len(threads))
 	for i, id := range threads {
 		out[id] = order[i%len(order)]
 	}

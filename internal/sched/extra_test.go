@@ -3,7 +3,7 @@ package sched
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
@@ -28,8 +28,8 @@ func TestRotateMovesEveryThread(t *testing.T) {
 		t.Errorf("rotation moved %d of %d threads", moved, len(before))
 	}
 	// The set of occupied cores is preserved (a pure cycle).
-	occ := func(p map[machine.ThreadID]machine.CoreID) map[machine.CoreID]int {
-		out := map[machine.CoreID]int{}
+	occ := func(p map[platform.ThreadID]platform.CoreID) map[platform.CoreID]int {
+		out := map[platform.CoreID]int{}
 		for _, c := range p {
 			out[c]++
 		}
@@ -86,7 +86,7 @@ func TestRotateEqualizesRuntimes(t *testing.T) {
 func TestStaticOracle(t *testing.T) {
 	m, inst := buildMachine(t, 1, 0.1)
 	// Ground-truth intensity from the instance's profiles.
-	intensity := map[machine.ThreadID]float64{}
+	intensity := map[platform.ThreadID]float64{}
 	for _, ti := range inst.Threads {
 		intensity[ti.ID] = inst.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
 	}
@@ -99,12 +99,12 @@ func TestStaticOracle(t *testing.T) {
 	for _, ti := range inst.Threads {
 		p := inst.Workload.Benchmarks[ti.Bench].Profile
 		if p.Name == "jacobi" || p.Name == "needle" {
-			if topo.Core(asg[ti.ID]).Kind != machine.FastCore {
+			if topo.Core(asg[ti.ID]).Kind != platform.FastCore {
 				t.Errorf("memory thread %d (%s) assigned to a slow core", ti.ID, p.Name)
 			}
 		}
 		if p.Name == "lavaMD" || p.Name == "leukocyte" {
-			if topo.Core(asg[ti.ID]).Kind != machine.SlowCore {
+			if topo.Core(asg[ti.ID]).Kind != platform.SlowCore {
 				t.Errorf("compute thread %d (%s) assigned to a fast core", ti.ID, p.Name)
 			}
 		}
@@ -131,7 +131,7 @@ func TestStaticOracle(t *testing.T) {
 
 func TestStaticRejectsPartialAssignment(t *testing.T) {
 	m, _ := buildMachine(t, 1, 0.1)
-	if _, err := NewStatic(m, map[machine.ThreadID]machine.CoreID{0: 0}); err == nil {
+	if _, err := NewStatic(m, map[platform.ThreadID]platform.CoreID{0: 0}); err == nil {
 		t.Error("partial assignment accepted")
 	}
 }

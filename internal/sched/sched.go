@@ -1,19 +1,21 @@
 // Package sched provides the scheduling framework the policies plug
-// into — quantum-driven policies over the simulated machine — plus the
+// into — quantum-driven policies over a platform — plus the
 // contention-oblivious baselines the paper compares against: the Linux
 // CFS stand-in and DIO (Distributed Intensity Online, Zhuravlev et al.),
 // the state-of-the-art contention-aware comparator.
 //
-// Policies observe the machine exclusively through its performance
-// counters (via Sampler) and act exclusively through affinity changes
-// (Place/Migrate/Swap) — the same contract a userspace scheduler has on
-// real hardware.
+// Policies observe the system exclusively through the platform seam
+// (internal/platform): performance-counter samples plus OS-visible
+// thread state in, affinity changes (Place/Migrate/Swap) out — the same
+// contract a userspace scheduler has on real hardware. No policy in
+// this package knows which backend (simulated machine, replay log, real
+// hardware) sits behind the interface.
 package sched
 
 import (
 	"fmt"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
@@ -21,6 +23,11 @@ import (
 // with nothing; the alias exists so scheduler code doesn't import sim in
 // every file.
 type Policy = sim.Policy
+
+// Sample is one quantum's worth of counter deltas. It is an alias of
+// platform.Sample: the type moved to the platform seam when sampling
+// became a backend responsibility.
+type Sample = platform.Sample
 
 // SpreadPlacement binds every registered thread to its own logical core,
 // spreading across physical cores first (one lane per physical core
@@ -31,13 +38,13 @@ type Policy = sim.Policy
 //
 // Every policy uses the same initial placement (same seed) so measured
 // differences come from steady-state behaviour, not starting luck.
-func SpreadPlacement(m *machine.Machine, seed uint64) error {
-	topo := m.Topology()
+func SpreadPlacement(p platform.Platform, seed uint64) error {
+	topo := p.Topology()
 	// Lane-major core order: all lane-0s across physical cores, then all
 	// lane-1s, and so on.
 	type laneKey struct{ lane, phys int }
 	cores := topo.Cores()
-	byLane := make(map[laneKey]machine.CoreID, len(cores))
+	byLane := make(map[laneKey]platform.CoreID, len(cores))
 	lanes := 0
 	physSeen := make(map[int]int)
 	for _, c := range cores {
@@ -48,7 +55,7 @@ func SpreadPlacement(m *machine.Machine, seed uint64) error {
 			lanes = lane + 1
 		}
 	}
-	var order []machine.CoreID
+	var order []platform.CoreID
 	for lane := 0; lane < lanes; lane++ {
 		for phys := 0; phys < len(physSeen); phys++ {
 			if id, ok := byLane[laneKey{lane, phys}]; ok {
@@ -57,11 +64,11 @@ func SpreadPlacement(m *machine.Machine, seed uint64) error {
 		}
 	}
 
-	threads := m.Threads()
+	threads := p.Threads()
 	if len(threads) > len(order) {
 		// More threads than logical cores: wrap around; lanes time-share.
 		// Supported, though the paper's workloads never need it.
-		wrapped := make([]machine.CoreID, 0, len(threads))
+		wrapped := make([]platform.CoreID, 0, len(threads))
 		for i := range threads {
 			wrapped = append(wrapped, order[i%len(order)])
 		}
@@ -74,7 +81,7 @@ func SpreadPlacement(m *machine.Machine, seed uint64) error {
 	}
 	rng.Shuffle(idx)
 	for i, ti := range idx {
-		if err := m.Place(threads[ti], order[i%len(order)]); err != nil {
+		if err := p.Place(threads[ti], order[i%len(order)]); err != nil {
 			return fmt.Errorf("sched: placement failed: %w", err)
 		}
 	}
@@ -88,7 +95,7 @@ func SpreadPlacement(m *machine.Machine, seed uint64) error {
 // baseline ("Figure 6a shows the improvement in fairness over the
 // baseline, so the baseline is zero").
 type CFS struct {
-	m      *machine.Machine
+	p      platform.Platform
 	seed   uint64
 	ql     sim.Time
 	placed bool
@@ -96,8 +103,8 @@ type CFS struct {
 
 // NewCFS returns the CFS baseline. quanta only sets how often the engine
 // polls the (inactive) policy; 1000 ms keeps overhead nil.
-func NewCFS(m *machine.Machine, seed uint64) *CFS {
-	return &CFS{m: m, seed: seed, ql: 1000}
+func NewCFS(p platform.Platform, seed uint64) *CFS {
+	return &CFS{p: p, seed: seed, ql: 1000}
 }
 
 // Name implements Policy.
@@ -109,7 +116,7 @@ func (c *CFS) QuantaLength() sim.Time { return c.ql }
 // Quantum implements Policy.
 func (c *CFS) Quantum(sim.Time) error {
 	if !c.placed {
-		if err := SpreadPlacement(c.m, c.seed); err != nil {
+		if err := SpreadPlacement(c.p, c.seed); err != nil {
 			return err
 		}
 		c.placed = true
@@ -120,13 +127,13 @@ func (c *CFS) Quantum(sim.Time) error {
 // Null is a policy that places threads once and never acts; standalone
 // (single-application) runs use it so Fig 1's baselines are unscheduled.
 type Null struct {
-	m      *machine.Machine
+	p      platform.Platform
 	seed   uint64
 	placed bool
 }
 
 // NewNull returns the do-nothing policy.
-func NewNull(m *machine.Machine, seed uint64) *Null { return &Null{m: m, seed: seed} }
+func NewNull(p platform.Platform, seed uint64) *Null { return &Null{p: p, seed: seed} }
 
 // Name implements Policy.
 func (n *Null) Name() string { return "null" }
@@ -137,7 +144,7 @@ func (n *Null) QuantaLength() sim.Time { return 1000 }
 // Quantum implements Policy.
 func (n *Null) Quantum(sim.Time) error {
 	if !n.placed {
-		if err := SpreadPlacement(n.m, n.seed); err != nil {
+		if err := SpreadPlacement(n.p, n.seed); err != nil {
 			return err
 		}
 		n.placed = true

@@ -3,15 +3,16 @@ package sched
 import (
 	"testing"
 
-	"dike/internal/machine"
+	"dike/internal/platform"
+	"dike/internal/platform/platformtest"
 	"dike/internal/sim"
 	"dike/internal/workload"
 )
 
 // buildMachine returns a machine loaded with WL1 at a small scale.
-func buildMachine(t *testing.T, wlN int, scale float64) (*machine.Machine, *workload.Instance) {
+func buildMachine(t *testing.T, wlN int, scale float64) (*platformtest.Machine, *workload.Instance) {
 	t.Helper()
-	m := machine.MustNew(machine.DefaultConfig())
+	m := platformtest.NewMachine(platformtest.DefaultConfig())
 	inst, err := workload.MustTable2(wlN).Build(m, workload.BuildOptions{Seed: 42, Scale: scale})
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +25,7 @@ func TestSpreadPlacementOneThreadPerCore(t *testing.T) {
 	if err := SpreadPlacement(m, 42); err != nil {
 		t.Fatal(err)
 	}
-	seen := make(map[machine.CoreID]int)
+	seen := make(map[platform.CoreID]int)
 	for _, id := range m.Threads() {
 		c, err := m.CoreOf(id)
 		if err != nil {
@@ -51,7 +52,7 @@ func TestSpreadPlacementMixesBenchmarks(t *testing.T) {
 	// Each benchmark's 8 threads should hit both core kinds with high
 	// probability under a shuffled placement: check jacobi (bench 0).
 	topo := m.Topology()
-	kinds := map[machine.CoreKind]int{}
+	kinds := map[platform.CoreKind]int{}
 	for _, id := range inst.ThreadsOf(0) {
 		c, _ := m.CoreOf(id)
 		kinds[topo.Core(c).Kind]++
@@ -80,12 +81,12 @@ func TestSpreadPlacementDeterministic(t *testing.T) {
 }
 
 func TestSpreadPlacementWrapsWhenOversubscribed(t *testing.T) {
-	cfg := machine.DefaultConfig()
+	cfg := platformtest.DefaultConfig()
 	cfg.Topology.FastPhysical = 1
 	cfg.Topology.SlowPhysical = 1
-	m := machine.MustNew(cfg) // 4 logical cores
+	m := platformtest.NewMachine(cfg) // 4 logical cores
 	for i := 0; i < 10; i++ {
-		if err := m.AddThread(machine.ThreadID(i), 0, machine.ConstProgram{Work: 10}); err != nil {
+		if err := m.AddThread(platform.ThreadID(i), 0, platformtest.ConstProgram{Work: 10}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,15 +142,14 @@ func TestSamplerDeltas(t *testing.T) {
 	if err := SpreadPlacement(m, 42); err != nil {
 		t.Fatal(err)
 	}
-	s := NewSampler(m)
-	first := s.Sample(0)
+	first := m.Sample(0)
 	if first.Interval != 0 {
 		t.Errorf("first sample interval = %v, want 0", first.Interval)
 	}
 	for now := sim.Time(0); now < 100; now++ {
 		m.Step(now, 1)
 	}
-	snd := s.Sample(100)
+	snd := m.Sample(100)
 	if snd.Interval != 100 {
 		t.Errorf("second interval = %v, want 100", snd.Interval)
 	}
