@@ -10,6 +10,7 @@
 package dike
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -123,7 +124,7 @@ func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
 // ablationRun executes one workload under a Dike configuration.
 func ablationRun(b *testing.B, wlN int, cfg core.Config) *metrics.RunResult {
 	b.Helper()
-	out, err := harness.Run(harness.RunSpec{
+	out, err := harness.Run(context.Background(), harness.RunSpec{
 		Workload: workload.MustTable2(wlN), Policy: harness.PolicyDike,
 		DikeConfig: &cfg, Seed: 42, Scale: 0.12,
 	})
@@ -204,7 +205,7 @@ func BenchmarkAblationTheta(b *testing.B) {
 // BenchmarkMachineStep measures the simulator's per-tick cost with the
 // full 40-thread Table II load.
 func BenchmarkMachineStep(b *testing.B) {
-	out, err := harness.Run(harness.RunSpec{
+	out, err := harness.Run(context.Background(), harness.RunSpec{
 		Workload: workload.MustTable2(1), Policy: harness.PolicyCFS, Seed: 42, Scale: 0.02,
 	})
 	if err != nil {
@@ -218,7 +219,7 @@ func BenchmarkMachineStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// One full short simulation per iteration keeps the measurement
 		// honest about amortised per-tick cost.
-		if _, err := harness.Run(harness.RunSpec{
+		if _, err := harness.Run(context.Background(), harness.RunSpec{
 			Workload: workload.MustTable2(1), Policy: harness.PolicyCFS, Seed: 42, Scale: 0.02,
 		}); err != nil {
 			b.Fatal(err)
@@ -231,7 +232,7 @@ func BenchmarkMachineStep(b *testing.B) {
 func BenchmarkDikeQuantum(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Run(harness.RunSpec{
+		if _, err := harness.Run(context.Background(), harness.RunSpec{
 			Workload: workload.MustTable2(6), Policy: harness.PolicyDike, Seed: 42, Scale: 0.05,
 		}); err != nil {
 			b.Fatal(err)

@@ -63,8 +63,7 @@ func main() {
 	for _, id := range ids {
 		e, err := harness.Lookup(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		start := time.Now()
 		rep, err := e.Run(opts)
@@ -73,14 +72,12 @@ func main() {
 			cli.Fatal(err)
 		}
 		if err := rep.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvFlag != "" {
 			if err := writeCSVs(*csvFlag, rep); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 		}
 	}

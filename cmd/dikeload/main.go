@@ -1,0 +1,290 @@
+// Command dikeload is a closed-loop load generator for dikeserved: N
+// concurrent clients each submit a job, wait for the submission
+// response, optionally poll the job to completion, then immediately
+// submit the next one. It reports throughput, submission-latency
+// percentiles and a per-status-code breakdown, and exits non-zero if
+// any request failed with something other than backpressure (429).
+//
+// Usage:
+//
+//	dikeload -n 50 -c 4                       # 50 requests, 4 clients
+//	dikeload -addr http://host:9000 -mix 10,1 # 1 sweep per 10 runs
+//	dikeload -seed-space 4                    # force cache/dedup hits
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dike/internal/cli"
+)
+
+func main() {
+	var (
+		addrFlag  = flag.String("addr", "http://127.0.0.1:8080", "dikeserved base URL")
+		nFlag     = flag.Int("n", 50, "total requests to issue")
+		cFlag     = flag.Int("c", 4, "concurrent closed-loop clients")
+		mixFlag   = flag.String("mix", "1,0", "request mix as run,sweep weights")
+		scaleFlag = flag.Float64("scale", 0.02, "workload scale per submitted run")
+		seedFlag  = flag.Uint64("seed", 1, "base simulation seed")
+		spaceFlag = flag.Int("seed-space", 0, "distinct seeds to draw from (0 = all distinct; small values force cache hits)")
+		pollFlag  = flag.Bool("poll", true, "poll each accepted job to completion")
+		waitFlag  = flag.Duration("job-timeout", 2*time.Minute, "per-job completion timeout when polling")
+	)
+	flag.Parse()
+	if *nFlag < 1 || *cFlag < 1 {
+		cli.Fatal(fmt.Errorf("dikeload: -n and -c must be positive"))
+	}
+	runW, sweepW, err := parseMix(*mixFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	lg := &loadgen{
+		base:    strings.TrimRight(*addrFlag, "/"),
+		client:  &http.Client{Timeout: 30 * time.Second},
+		n:       *nFlag,
+		scale:   *scaleFlag,
+		seed:    *seedFlag,
+		space:   *spaceFlag,
+		runW:    runW,
+		sweepW:  sweepW,
+		poll:    *pollFlag,
+		timeout: *waitFlag,
+		codes:   make(map[int]int),
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *cFlag; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lg.run(id)
+		}(i)
+	}
+	wg.Wait()
+	lg.report(os.Stdout, time.Since(start), *cFlag)
+
+	if lg.hardErrors() > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadgen is the shared state of all closed-loop clients.
+type loadgen struct {
+	base    string
+	client  *http.Client
+	n       int
+	scale   float64
+	seed    uint64
+	space   int
+	runW    int
+	sweepW  int
+	poll    bool
+	timeout time.Duration
+
+	next int64 // atomically claimed request index
+
+	mu        sync.Mutex
+	codes     map[int]int // HTTP status → count (submissions only)
+	latencies []time.Duration
+	transport int
+	cached    int
+	deduped   int
+	completed int
+	jobFailed int
+}
+
+// submitResponse mirrors the server's submission body.
+type submitResponse struct {
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	Cached  bool   `json:"cached"`
+	Deduped bool   `json:"deduped"`
+}
+
+// jobView mirrors the fields of the server's job view we poll on.
+type jobView struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// run is one closed-loop client: claim an index, submit, (optionally)
+// poll to completion, repeat until the shared budget is spent.
+func (lg *loadgen) run(client int) {
+	rng := rand.New(rand.NewSource(int64(lg.seed) + int64(client)))
+	for {
+		i := atomic.AddInt64(&lg.next, 1) - 1
+		if i >= int64(lg.n) {
+			return
+		}
+		seed := lg.seed + uint64(i)
+		if lg.space > 0 {
+			seed = lg.seed + uint64(i)%uint64(lg.space)
+		}
+		path, body := lg.request(rng, seed)
+
+		t0 := time.Now()
+		resp, err := lg.client.Post(lg.base+path, "application/json", bytes.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			lg.mu.Lock()
+			lg.transport++
+			lg.mu.Unlock()
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		var sub submitResponse
+		json.Unmarshal(raw, &sub)
+		lg.mu.Lock()
+		lg.codes[resp.StatusCode]++
+		lg.latencies = append(lg.latencies, lat)
+		if sub.Cached {
+			lg.cached++
+		}
+		if sub.Deduped {
+			lg.deduped++
+		}
+		lg.mu.Unlock()
+
+		accepted := resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK
+		if lg.poll && accepted && sub.ID != "" {
+			lg.await(sub.ID)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Closed loop honours backpressure: brief pause, then retry
+			// budget permitting (the index is already consumed — 429s are
+			// part of the measured mix, not retried invisibly).
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// request picks run vs sweep by weight and builds the POST body.
+func (lg *loadgen) request(rng *rand.Rand, seed uint64) (string, []byte) {
+	if lg.sweepW > 0 && rng.Intn(lg.runW+lg.sweepW) < lg.sweepW {
+		body, _ := json.Marshal(map[string]any{
+			"workload": 1, "seed": seed, "scale": lg.scale,
+		})
+		return "/v1/sweeps", body
+	}
+	policies := []string{"dike", "cfs", "dio"}
+	body, _ := json.Marshal(map[string]any{
+		"workload": 1 + int(seed%4), "policy": policies[seed%uint64(len(policies))],
+		"seed": seed, "scale": lg.scale,
+	})
+	return "/v1/runs", body
+}
+
+// await polls one job until it reaches a terminal state.
+func (lg *loadgen) await(id string) {
+	deadline := time.Now().Add(lg.timeout)
+	for time.Now().Before(deadline) {
+		resp, err := lg.client.Get(lg.base + "/v1/runs/" + id)
+		if err != nil {
+			lg.mu.Lock()
+			lg.transport++
+			lg.mu.Unlock()
+			return
+		}
+		var v jobView
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		switch v.Status {
+		case "done":
+			lg.mu.Lock()
+			lg.completed++
+			lg.mu.Unlock()
+			return
+		case "failed", "canceled":
+			lg.mu.Lock()
+			lg.jobFailed++
+			lg.mu.Unlock()
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	lg.mu.Lock()
+	lg.jobFailed++
+	lg.mu.Unlock()
+}
+
+// hardErrors counts outcomes that should fail a smoke run: transport
+// errors, failed jobs, and any status outside {2xx, 429}.
+func (lg *loadgen) hardErrors() int {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	n := lg.transport + lg.jobFailed
+	for code, count := range lg.codes {
+		if (code < 200 || code > 299) && code != http.StatusTooManyRequests {
+			n += count
+		}
+	}
+	return n
+}
+
+func (lg *loadgen) report(w io.Writer, elapsed time.Duration, clients int) {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+
+	fmt.Fprintf(w, "dikeload: %d requests, %d clients, %v elapsed (%.1f req/s)\n",
+		len(lg.latencies)+lg.transport, clients, elapsed.Round(time.Millisecond),
+		float64(len(lg.latencies))/elapsed.Seconds())
+
+	codes := make([]int, 0, len(lg.codes))
+	for c := range lg.codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes)+1)
+	for _, c := range codes {
+		parts = append(parts, strconv.Itoa(c)+"="+strconv.Itoa(lg.codes[c]))
+	}
+	if lg.transport > 0 {
+		parts = append(parts, "transport-error="+strconv.Itoa(lg.transport))
+	}
+	fmt.Fprintf(w, "  status: %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(w, "  served: cached=%d deduped=%d\n", lg.cached, lg.deduped)
+	if lg.poll {
+		fmt.Fprintf(w, "  jobs:   completed=%d failed=%d\n", lg.completed, lg.jobFailed)
+	}
+
+	if len(lg.latencies) > 0 {
+		sort.Slice(lg.latencies, func(i, j int) bool { return lg.latencies[i] < lg.latencies[j] })
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(lg.latencies)-1))
+			return lg.latencies[idx].Round(time.Microsecond)
+		}
+		fmt.Fprintf(w, "  submit latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(0.50), pct(0.90), pct(0.99), lg.latencies[len(lg.latencies)-1].Round(time.Microsecond))
+	}
+}
+
+// parseMix parses "runWeight,sweepWeight".
+func parseMix(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("dikeload: -mix wants 'run,sweep' weights, got %q", s)
+	}
+	runW, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	sweepW, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || runW < 0 || sweepW < 0 || runW+sweepW == 0 {
+		return 0, 0, fmt.Errorf("dikeload: bad -mix %q", s)
+	}
+	return runW, sweepW, nil
+}

@@ -1,0 +1,95 @@
+// Command dikeserved runs the simulation service: an HTTP/JSON API over
+// the harness with a bounded job queue, a worker pool, a digest-keyed
+// result cache and per-quantum progress streaming.
+//
+// Usage:
+//
+//	dikeserved                            # serve on :8080
+//	dikeserved -addr :9000 -workers 8     # bigger pool, other port
+//	dikeserved -queue 128 -cache 512      # deeper queue, bigger cache
+//
+// Endpoints:
+//
+//	POST   /v1/runs             submit a simulation job
+//	GET    /v1/runs/{id}        poll job status + result
+//	DELETE /v1/runs/{id}        cancel a queued or running job
+//	GET    /v1/runs/{id}/events NDJSON per-quantum progress stream
+//	POST   /v1/sweeps           submit a 32-point configuration sweep
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
+// and in-flight jobs run to completion (bounded by -drain-timeout, after
+// which they are hard-cancelled), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dike/internal/serve"
+)
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", ":8080", "listen address")
+		workersFlag  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queueFlag    = flag.Int("queue", 64, "bounded job-queue depth (full queue rejects with 429)")
+		cacheFlag    = flag.Int("cache", 256, "result cache capacity in results (-1 disables)")
+		deadlineFlag = flag.Duration("deadline", 2*time.Minute, "default per-job execution deadline")
+		sweepFlag    = flag.Int("sweep-workers", 1, "intra-sweep simulation concurrency")
+		drainFlag    = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:         *workersFlag,
+		QueueDepth:      *queueFlag,
+		CacheSize:       *cacheFlag,
+		DefaultDeadline: *deadlineFlag,
+		SweepWorkers:    *sweepFlag,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dikeserved listening on %s", *addrFlag)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener died before any shutdown was requested.
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (timeout %v)", sig, *drainFlag)
+	}
+
+	// Drain the job layer first — submissions now get 503 while status,
+	// events and metrics stay readable — then close the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete, in-flight jobs were cancelled: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("dikeserved stopped")
+}

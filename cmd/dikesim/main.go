@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,8 +68,7 @@ func main() {
 		w, err = workload.Table2(*wlFlag)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 
 	spec := harness.RunSpec{
@@ -80,8 +80,7 @@ func main() {
 	if *faultsFlag != "" {
 		classes, err := fault.ParseClasses(*faultsFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		if classes != 0 {
 			fc := fault.DefaultConfig()
@@ -100,7 +99,7 @@ func main() {
 		recFile = f
 		spec.Record = f
 	}
-	out, err := harness.Run(spec)
+	out, err := harness.Run(context.Background(), spec)
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -134,13 +133,11 @@ func main() {
 	if *traceFlag != "" && out.Trace != nil {
 		f, err := os.Create(*traceFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		if err := out.Trace.WriteCSV(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		f.Close()
 		fmt.Printf("trace      %s\n", *traceFlag)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +34,9 @@ func main() {
 
 	w, err := workload.Table2(*wlFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
-	grid, err := harness.Sweep(w, harness.Options{
+	grid, err := harness.Sweep(context.Background(), w, harness.Options{
 		Seed: *seedFlag, SweepScale: *scaleFlag, Workers: *workerFlag,
 	})
 	if err != nil {
@@ -77,8 +77,7 @@ func main() {
 	if *csvFlag != "" {
 		f, err := os.Create(*csvFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		defer f.Close()
 		fmt.Fprintln(f, "swap_size,quanta_ms,fairness,inv_makespan,swaps")

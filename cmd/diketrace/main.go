@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +52,7 @@ func record(args []string) {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	out, err := harness.Run(harness.RunSpec{
+	out, err := harness.Run(context.Background(), harness.RunSpec{
 		Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
 		TraceEvery: 500,
 	})

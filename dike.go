@@ -28,6 +28,7 @@
 package dike
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -226,7 +227,7 @@ func Run(w *Workload, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := harness.Run(spec)
+	out, err := harness.Run(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +310,7 @@ func SweepConfigs(w *Workload, opts Options) ([]ConfigPoint, error) {
 		return nil, errors.New("dike: nil workload")
 	}
 	hopts := harness.Options{Seed: opts.Seed, SweepScale: opts.Scale}
-	grid, err := harness.Sweep(w.w, hopts)
+	grid, err := harness.Sweep(context.Background(), w.w, hopts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dike/internal/platform"
@@ -26,7 +27,7 @@ func runDike(t *testing.T, wlN int, scale float64, cfg Config) (*Dike, *platform
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return d, m
@@ -121,7 +122,7 @@ func TestDikeImprovesFairnessOverNoScheduling(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Run(); err != nil {
+		if _, err := eng.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		// Mean CV across main benchmarks.

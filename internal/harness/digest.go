@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dike/internal/core"
+	"dike/internal/fault"
+	"dike/internal/machine"
+	"dike/internal/sim"
+)
+
+// specKey is the canonical serialization Digest hashes: every RunSpec
+// field that determines a run's result, and nothing else. Observers
+// (TraceEvery, Record, OnProgress) are deliberately excluded — attaching
+// them never changes what the simulation computes, so a traced run and
+// an untraced run with the same inputs share a digest.
+//
+// Config fields are resolved the way Run resolves them before hashing,
+// so "nil config" and "explicitly the default config" hash identically,
+// and a DikeConfig on a non-Dike policy (which Run ignores) does not
+// split the cache.
+type specKey struct {
+	Workload json.RawMessage
+	Policy   string
+	Dike     *core.Config `json:",omitempty"`
+	Machine  machine.Config
+	Seed     uint64
+	Scale    float64
+	Step     sim.Time
+	MaxTime  sim.Time
+	Faults   *fault.Config `json:",omitempty"`
+}
+
+// Digest returns a content address for the run the spec describes: a
+// hex SHA-256 over the canonical serialization of all
+// result-determining fields (workload including full profiles, policy,
+// resolved scheduler/machine configuration, seed, scale, step, horizon,
+// fault plan). Because every simulation is deterministic in these
+// inputs, equal digests mean equal results — the property the serve
+// layer's result cache and singleflight dedup rely on.
+func (s RunSpec) Digest() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	wl, err := json.Marshal(s.Workload)
+	if err != nil {
+		return "", fmt.Errorf("harness: digest workload: %w", err)
+	}
+	key := specKey{
+		Workload: wl,
+		Policy:   s.Policy,
+		Machine:  machine.DefaultConfig(),
+		Seed:     s.Seed,
+		Scale:    s.Scale,
+		Step:     s.Step,
+		MaxTime:  s.MaxTime,
+		Faults:   s.Faults,
+	}
+	if s.MachineConfig != nil {
+		key.Machine = *s.MachineConfig
+	}
+	// Resolve the Dike configuration exactly as buildPolicy does: only
+	// the dike policies consult it, the goal is forced to match the
+	// policy name, and the placement seed comes from Seed.
+	switch s.Policy {
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+		cfg := core.DefaultConfig()
+		if s.DikeConfig != nil {
+			cfg = *s.DikeConfig
+		}
+		switch s.Policy {
+		case PolicyDike:
+			cfg.Goal = core.AdaptNone
+		case PolicyDikeAF:
+			cfg.Goal = core.AdaptFairness
+		case PolicyDikeAP:
+			cfg.Goal = core.AdaptPerformance
+		}
+		cfg.PlacementSeed = s.Seed
+		key.Dike = &cfg
+	}
+	blob, err := json.Marshal(key)
+	if err != nil {
+		return "", fmt.Errorf("harness: digest spec: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestRunRecordRoundTrip(t *testing.T) {
-	out, err := Run(RunSpec{
+	out, err := Run(context.Background(), RunSpec{
 		Workload: workload.MustTable2(1), Policy: PolicyDike,
 		Seed: 42, Scale: 0.05, TraceEvery: 500,
 	})
@@ -59,7 +60,7 @@ func TestReadRunRecordRejectsBadSchema(t *testing.T) {
 }
 
 func TestRunRecordNonDike(t *testing.T) {
-	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
+	out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}

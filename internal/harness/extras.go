@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/metrics"
@@ -26,7 +27,7 @@ func runExtraBaselines(optsIn Options) (*Report, error) {
 		w := workload.MustTable2(wlN)
 		var base *metrics.RunResult
 		for _, pol := range []string{PolicyCFS, PolicyRotate, PolicyOracle, PolicyDike} {
-			out, err := Run(RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
+			out, err := Run(context.Background(), RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +78,7 @@ func runExtraDynamic(optsIn Options) (*Report, error) {
 		Header: []string{"policy", "fairness", "makespan", "swaps"}}
 	var cfs *metrics.RunResult
 	for _, pol := range []string{PolicyCFS, PolicyDIO, PolicyDike, PolicyDikeAF, PolicyDikeAP} {
-		out, err := Run(RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
+		out, err := Run(context.Background(), RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale})
 		if err != nil {
 			return nil, err
 		}

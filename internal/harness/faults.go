@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/fault"
@@ -45,7 +46,7 @@ func runFaults(optsIn Options) (*Report, error) {
 			specs = append(specs, spec)
 		}
 	}
-	outs, err := RunAll(specs, opts.Workers)
+	outs, err := RunAll(context.Background(), specs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

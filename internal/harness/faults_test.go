@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"bytes"
 	"testing"
 
@@ -23,11 +24,11 @@ func faultSpec() RunSpec {
 // workflow runs it twice with -count=2): the same spec and fault seed
 // must yield a bit-identical run — metrics, fault schedule and trace.
 func TestFaultRunDeterminism(t *testing.T) {
-	a, err := Run(faultSpec())
+	a, err := Run(context.Background(), faultSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(faultSpec())
+	b, err := Run(context.Background(), faultSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,13 +62,13 @@ func TestFaultRunDeterminism(t *testing.T) {
 // TestFaultSeedChangesRun: a different fault seed must actually change
 // the fault schedule (guards against the injector ignoring its seed).
 func TestFaultSeedChangesRun(t *testing.T) {
-	a, err := Run(faultSpec())
+	a, err := Run(context.Background(), faultSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec := faultSpec()
 	spec.Faults.Seed = 8
-	b, err := Run(spec)
+	b, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFaultEveryClassCompletes(t *testing.T) {
 			fc := fault.DefaultConfig()
 			fc.Seed = 7
 			fc.Classes = sc.Classes
-			out, err := Run(RunSpec{
+			out, err := Run(context.Background(), RunSpec{
 				Workload: workload.MustTable2(6), Policy: PolicyDikeAF,
 				Seed: 42, Scale: 0.05, Faults: &fc,
 			})
@@ -103,11 +104,11 @@ func TestFaultEveryClassCompletes(t *testing.T) {
 // TestFaultGracefulDegradation: at the default fault rates the hardened
 // scheduler keeps fairness in a sane band — degraded, not collapsed.
 func TestFaultGracefulDegradation(t *testing.T) {
-	clean, err := Run(RunSpec{Workload: workload.MustTable2(6), Policy: PolicyDikeAF, Seed: 42, Scale: 0.05})
+	clean, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(6), Policy: PolicyDikeAF, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := Run(faultSpec())
+	faulty, err := Run(context.Background(), faultSpec())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/machine"
@@ -33,7 +34,7 @@ func standaloneTime(app string, mcfg machine.Config, opts Options) (float64, err
 		Name:       "standalone-" + app,
 		Benchmarks: []workload.Benchmark{{Profile: prof, Threads: workload.ThreadsPerBenchmark}},
 	}
-	out, err := Run(RunSpec{
+	out, err := Run(context.Background(), RunSpec{
 		Workload: w, Policy: PolicyNull, Seed: opts.Seed, Scale: opts.Scale,
 		MachineConfig: &mcfg,
 	})
@@ -61,7 +62,7 @@ func runFig1(optsIn Options) (*Report, error) {
 		var concurrent [2]*RunOutput
 		for i, mcfg := range []machine.Config{homo, hetero} {
 			cfg := mcfg
-			out, err := Run(RunSpec{Workload: w, Policy: PolicyCFS, Seed: opts.Seed, Scale: opts.Scale, MachineConfig: &cfg})
+			out, err := Run(context.Background(), RunSpec{Workload: w, Policy: PolicyCFS, Seed: opts.Seed, Scale: opts.Scale, MachineConfig: &cfg})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/workload"
@@ -24,7 +25,7 @@ func runFig2(optsIn Options) (*Report, error) {
 	}
 	for _, wlN := range fig2Workloads {
 		w := workload.MustTable2(wlN)
-		rs, err := sweepConfigs(w, opts)
+		rs, err := sweepConfigs(context.Background(), w, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/core"
@@ -53,7 +54,7 @@ func runFig4(optsIn Options) (*Report, error) {
 	rep := &Report{ID: "fig4", Title: "Normalized fairness/performance of every configuration (Fig 4)"}
 	for _, wlN := range fig4Workloads {
 		w := workload.MustTable2(wlN)
-		rs, err := sweepConfigs(w, opts)
+		rs, err := sweepConfigs(context.Background(), w, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +88,7 @@ func runFig5(optsIn Options) (*Report, error) {
 	accs := map[workload.Type]*acc{}
 	nCfg := core.NumConfigurations
 	for _, w := range wls {
-		rs, err := sweepConfigs(w, opts)
+		rs, err := sweepConfigs(context.Background(), w, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/metrics"
@@ -22,7 +23,7 @@ func comparisonRuns(opts Options, policies []string) (map[int]map[string]*RunOut
 			specs = append(specs, RunSpec{Workload: w, Policy: p, Seed: opts.Seed, Scale: opts.Scale})
 		}
 	}
-	outs, err := RunAll(specs, opts.Workers)
+	outs, err := RunAll(context.Background(), specs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

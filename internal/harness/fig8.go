@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,7 +24,7 @@ func runFig8(optsIn Options) (*Report, error) {
 	rep := &Report{ID: "fig8", Title: "Prediction error trend (Fig 8)"}
 	for _, wlN := range fig8Workloads {
 		w := workload.MustTable2(wlN)
-		out, err := Run(RunSpec{Workload: w, Policy: PolicyDike, Seed: opts.Seed, Scale: opts.Scale})
+		out, err := Run(context.Background(), RunSpec{Workload: w, Policy: PolicyDike, Seed: opts.Seed, Scale: opts.Scale})
 		if err != nil {
 			return nil, err
 		}

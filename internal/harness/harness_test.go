@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func TestRunSpecValidation(t *testing.T) {
 				t.Errorf("error %q does not mention policy %q", err, tc.spec.Policy)
 			}
 			// Run fails identically without starting a simulation.
-			if _, rerr := Run(tc.spec); !errors.Is(rerr, tc.want) {
+			if _, rerr := Run(context.Background(), tc.spec); !errors.Is(rerr, tc.want) {
 				t.Fatalf("Run() = %v, want errors.Is(%v)", rerr, tc.want)
 			}
 		})
@@ -55,7 +56,7 @@ func TestRunSpecValidation(t *testing.T) {
 }
 
 func TestRunProducesMetrics(t *testing.T) {
-	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05})
+	out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestRunProducesMetrics(t *testing.T) {
 }
 
 func TestRunNonDikeHasNoPredictionData(t *testing.T) {
-	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
+	out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunDikeConfigOverride(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.QuantaLength = 1000
 	cfg.SwapSize = 2
-	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike,
+	out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike,
 		DikeConfig: &cfg, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestRunAllOrderAndParallel(t *testing.T) {
 		{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05},
 		{Workload: workload.MustTable2(2), Policy: PolicyCFS, Seed: 42, Scale: 0.05},
 	}
-	outs, err := RunAll(specs, 3)
+	outs, err := RunAll(context.Background(), specs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +117,11 @@ func TestRunAllOrderAndParallel(t *testing.T) {
 
 func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	spec := RunSpec{Workload: workload.MustTable2(3), Policy: PolicyDike, Seed: 7, Scale: 0.05}
-	a, err := Run(spec)
+	a, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, err := RunAll([]RunSpec{spec, spec}, 2)
+	outs, err := RunAll(context.Background(), []RunSpec{spec, spec}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestStaticExperiments(t *testing.T) {
 }
 
 func TestSweepShape(t *testing.T) {
-	rs, err := Sweep(workload.MustTable2(1), Options{SweepScale: 0.04, Workers: 4})
+	rs, err := Sweep(context.Background(), workload.MustTable2(1), Options{SweepScale: 0.04, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,5 +249,68 @@ func TestQuickDynamicExperiments(t *testing.T) {
 		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
 			t.Errorf("%s produced no rows", id)
 		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	// A cancelled context must abort the simulation promptly: the run
+	// returns ctx.Err() instead of completing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under a cancelled context = %v, want context.Canceled", err)
+	}
+
+	// Cancelling mid-run from the progress hook stops within one quantum:
+	// at most one more decision fires after the cancellation lands.
+	ctx, cancel = context.WithCancel(context.Background())
+	decisions := 0
+	spec := RunSpec{
+		Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.5,
+		OnProgress: func(p Progress) {
+			decisions++
+			if p.Quantum == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err = Run(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel = %v, want context.Canceled", err)
+	}
+	if decisions > 3 {
+		t.Errorf("run made %d decisions after cancel at the 2nd; must stop within one quantum", decisions)
+	}
+}
+
+func TestRunProgressHook(t *testing.T) {
+	var events []Progress
+	out, err := Run(context.Background(), RunSpec{
+		Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05,
+		OnProgress: func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events for a completed run")
+	}
+	// One event per engine decision; Dike's own History skips its warmup
+	// quantum, so it may run one short of the hook count.
+	if len(events) < len(out.History) || len(events) > len(out.History)+1 {
+		t.Errorf("got %d progress events for %d history records; want one per quantum", len(events), len(out.History))
+	}
+	for i, ev := range events {
+		if ev.Quantum != i+1 {
+			t.Fatalf("event %d has Quantum=%d, want %d", i, ev.Quantum, i+1)
+		}
+		if i > 0 && ev.Time <= events[i-1].Time {
+			t.Fatalf("event times not strictly increasing: %v after %v", ev.Time, events[i-1].Time)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Swaps != out.Result.Swaps {
+		t.Errorf("final event swaps = %d, want the run total %d", last.Swaps, out.Result.Swaps)
 	}
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestPredictionErrorShape(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	get := func(wlN int) *RunOutput {
-		out, err := Run(RunSpec{Workload: workload.MustTable2(wlN), Policy: PolicyDike, Seed: 42, Scale: 0.3})
+		out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(wlN), Policy: PolicyDike, Seed: 42, Scale: 0.3})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"math"
@@ -18,7 +19,7 @@ func recordRun(t *testing.T, spec RunSpec) (*RunOutput, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	spec.Record = &buf
-	out, err := Run(spec)
+	out, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestReplayDetectsTamperedLog(t *testing.T) {
 // floats, one line per quantum.
 func TestDigestDeterministic(t *testing.T) {
 	spec := RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDike, Seed: 42, Scale: 0.05}
-	a, err := Run(spec)
+	a, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(spec)
+	b, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,6 +75,26 @@ type RunSpec struct {
 	// exchanged with the platform. Feed it to Replay to re-run the
 	// policy's decisions without the machine model.
 	Record io.Writer
+	// OnProgress, if non-nil, is invoked after every scheduling decision
+	// with a snapshot of the run. It runs on the simulation goroutine, so
+	// it must be fast and must not block; the serve layer uses it to feed
+	// live NDJSON event streams. Observers never affect the simulation,
+	// so this field is excluded from Digest.
+	OnProgress func(Progress)
+}
+
+// Progress is the per-quantum snapshot handed to RunSpec.OnProgress.
+type Progress struct {
+	// Time is the simulated time of the scheduling decision, ms.
+	Time sim.Time
+	// Quantum counts decisions so far, starting at 1.
+	Quantum int
+	// Alive is the number of arrived, unfinished threads.
+	Alive int
+	// Swaps is the cumulative migration-pair count.
+	Swaps int
+	// Utilization is the memory-controller utilisation (0..MaxUtil).
+	Utilization float64
 }
 
 // Spec validation errors. Run wraps these with the offending detail;
@@ -130,8 +151,10 @@ type RunOutput struct {
 	Sanitized     core.SanitizeStats
 }
 
-// Run executes one simulation to completion.
-func Run(spec RunSpec) (*RunOutput, error) {
+// Run executes one simulation to completion. Cancelling ctx aborts the
+// simulation within one quantum; the returned error then wraps
+// ctx.Err(). Batch callers pass context.Background().
+func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,7 +214,20 @@ func Run(spec RunSpec) (*RunOutput, error) {
 	if spec.TraceEvery > 0 {
 		rt = attachTrace(engine, m, inst, spec.TraceEvery, inj)
 	}
-	done, err := engine.Run()
+	if spec.OnProgress != nil {
+		quantum := 0
+		engine.OnQuantum(func(now sim.Time) {
+			quantum++
+			spec.OnProgress(Progress{
+				Time:        now,
+				Quantum:     quantum,
+				Alive:       len(m.Alive()),
+				Swaps:       m.SwapCount(),
+				Utilization: m.Utilization(),
+			})
+		})
+	}
+	done, err := engine.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", spec.Policy, spec.Workload.Name, err)
 	}
@@ -279,7 +315,8 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance) 
 // RunAll executes specs concurrently on up to workers goroutines (each
 // simulation is single-threaded and independent). Results align with
 // specs by index; the first error aborts nothing but is returned.
-func RunAll(specs []RunSpec, workers int) ([]*RunOutput, error) {
+// Cancelling ctx aborts every in-flight simulation within one quantum.
+func RunAll(ctx context.Context, specs []RunSpec, workers int) ([]*RunOutput, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -292,7 +329,7 @@ func RunAll(specs []RunSpec, workers int) ([]*RunOutput, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outs[i], errs[i] = Run(specs[i])
+				outs[i], errs[i] = Run(ctx, specs[i])
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/machine"
@@ -57,7 +58,7 @@ func runExtraScale(optsIn Options) (*Report, error) {
 	var base *metrics.RunResult
 	for _, pol := range []string{PolicyCFS, PolicyDIO, PolicyDike, PolicyDikeAF, PolicyDikeAP} {
 		cfg := mcfg
-		out, err := Run(RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale, MachineConfig: &cfg})
+		out, err := Run(context.Background(), RunSpec{Workload: w, Policy: pol, Seed: opts.Seed, Scale: opts.Scale, MachineConfig: &cfg})
 		if err != nil {
 			return nil, err
 		}

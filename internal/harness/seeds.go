@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dike/internal/metrics"
@@ -47,7 +48,7 @@ func runExtraSeeds(optsIn Options) (*Report, error) {
 			}
 		}
 	}
-	outs, err := RunAll(specs, opts.Workers)
+	outs, err := RunAll(context.Background(), specs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"dike/internal/core"
 	"dike/internal/sim"
 	"dike/internal/workload"
@@ -21,14 +23,14 @@ type ConfigResult struct {
 // Sweep runs the 32-configuration sweep on w with defaulted options; it
 // is sweepConfigs' exported form for the dikesweep command and the
 // public facade.
-func Sweep(w *workload.Workload, opts Options) ([]ConfigResult, error) {
-	return sweepConfigs(w, opts.withDefaults())
+func Sweep(ctx context.Context, w *workload.Workload, opts Options) ([]ConfigResult, error) {
+	return sweepConfigs(ctx, w, opts.withDefaults())
 }
 
 // sweepConfigs runs Dike (non-adaptive) on w under every ⟨swapSize,
 // quantaLength⟩ configuration and returns the 32 results in a stable
 // order (quanta-major, swap sizes ascending).
-func sweepConfigs(w *workload.Workload, opts Options) ([]ConfigResult, error) {
+func sweepConfigs(ctx context.Context, w *workload.Workload, opts Options) ([]ConfigResult, error) {
 	var specs []RunSpec
 	var meta []ConfigResult
 	for _, q := range core.QuantaLevels {
@@ -43,7 +45,7 @@ func sweepConfigs(w *workload.Workload, opts Options) ([]ConfigResult, error) {
 			meta = append(meta, ConfigResult{SwapSize: ss, Quanta: q})
 		}
 	}
-	outs, err := RunAll(specs, opts.Workers)
+	outs, err := RunAll(ctx, specs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

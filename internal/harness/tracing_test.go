@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestRunTraceCapture(t *testing.T) {
-	out, err := Run(RunSpec{
+	out, err := Run(context.Background(), RunSpec{
 		Workload: workload.MustTable2(1), Policy: PolicyDike,
 		Seed: 42, Scale: 0.05, TraceEvery: 200,
 	})
@@ -61,7 +62,7 @@ func TestRunTraceCapture(t *testing.T) {
 }
 
 func TestNoTraceByDefault(t *testing.T) {
-	out, err := Run(RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
+	out, err := Run(context.Background(), RunSpec{Workload: workload.MustTable2(1), Policy: PolicyCFS, Seed: 42, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestDynamicArrivalRun(t *testing.T) {
 		}
 		w.Benchmarks = append(w.Benchmarks, nb)
 	}
-	out, err := Run(RunSpec{Workload: w, Policy: PolicyDike, Seed: 42, Scale: 0.1})
+	out, err := Run(context.Background(), RunSpec{Workload: w, Policy: PolicyDike, Seed: 42, Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}

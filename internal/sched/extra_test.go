@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"dike/internal/platform"
@@ -50,7 +51,7 @@ func TestRotateEqualizesRuntimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Rotation equalizes over full tours of the 40-core ring; at this
@@ -121,7 +122,7 @@ func TestStaticOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.MigrationCount() != 0 {

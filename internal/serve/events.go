@@ -1,0 +1,102 @@
+package serve
+
+import "sync"
+
+// Event is one line of a job's NDJSON progress stream. While a run is in
+// flight the serve layer publishes one event per scheduling quantum from
+// the harness progress hook; a final event carries the job's terminal
+// status instead.
+type Event struct {
+	// TMs is the simulated time of the decision, ms.
+	TMs int64 `json:"t_ms,omitempty"`
+	// Quantum counts decisions, starting at 1.
+	Quantum int `json:"quantum,omitempty"`
+	// Alive is the number of arrived, unfinished threads.
+	Alive int `json:"alive,omitempty"`
+	// Swaps is the cumulative migration-pair count.
+	Swaps int `json:"swaps,omitempty"`
+	// Util is the memory-controller utilisation.
+	Util float64 `json:"util,omitempty"`
+	// Status is set only on the terminal event: done|failed|canceled.
+	Status string `json:"status,omitempty"`
+	// Error carries the failure reason on a terminal failed event.
+	Error string `json:"error,omitempty"`
+}
+
+// subBuffer is each subscriber's channel capacity. A consumer that falls
+// further behind than this loses intermediate events (never the terminal
+// one, which is re-delivered from history on subscribe).
+const subBuffer = 256
+
+// broker fans a job's event stream out to any number of subscribers and
+// replays the full history to late joiners, so GET /events is correct
+// whether it attaches before, during or after the run.
+type broker struct {
+	mu      sync.Mutex
+	history []Event
+	subs    map[chan Event]struct{}
+	closed  bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan Event]struct{})}
+}
+
+// publish appends ev to history and offers it to every subscriber.
+// Publishing is non-blocking: a subscriber whose buffer is full skips
+// the event (it still has it in history if it resubscribes).
+func (b *broker) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.history = append(b.history, ev)
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// close publishes the terminal event and closes every subscriber
+// channel. Further publishes and subscriptions see the frozen history.
+func (b *broker) close(final Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.history = append(b.history, final)
+	for ch := range b.subs {
+		select {
+		case ch <- final:
+		default:
+		}
+		close(ch)
+	}
+	b.subs = nil
+	b.closed = true
+}
+
+// subscribe returns the events published so far and, unless the stream
+// has already closed, a live channel for the rest. The caller must call
+// cancel when done. A nil channel means the history is complete.
+func (b *broker) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]Event(nil), b.history...)
+	if b.closed {
+		return replay, nil, func() {}
+	}
+	ch := make(chan Event, subBuffer)
+	b.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the per-endpoint
+// request-latency histograms. Simulation jobs run for seconds, metadata
+// endpoints for microseconds, so the range is wide.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: counts[i] counts observations ≤ latencyBuckets[i], plus a
+// final +Inf bucket.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1, lazily allocated
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets)+1)
+	}
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.counts[len(latencyBuckets)]++
+	h.sum += v
+	h.total++
+}
+
+// metrics is the server's hand-rolled metric registry. Everything is
+// guarded by one mutex — scrape traffic is light and jobs run for
+// seconds, so contention is irrelevant next to legibility.
+type metrics struct {
+	mu sync.Mutex
+	// jobsTotal counts jobs by terminal status (done/failed/canceled).
+	jobsTotal map[string]uint64
+	// simulations counts actual harness executions — the number the
+	// cache exists to minimise. A cache hit serves a job without
+	// incrementing it.
+	simulations uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	dedup       uint64
+	rejected    uint64
+	inflight    int
+	// httpTotal counts requests by route and status code.
+	httpTotal map[[2]string]uint64
+	// latency histograms the request duration per route.
+	latency map[string]*histogram
+
+	// queueDepth/queueCap/workers are sampled from the server at scrape
+	// time via this callback.
+	gauges func() (depth, capacity, workers int)
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobsTotal: make(map[string]uint64),
+		httpTotal: make(map[[2]string]uint64),
+		latency:   make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) jobDone(status string) {
+	m.mu.Lock()
+	m.jobsTotal[status]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) simulated() {
+	m.mu.Lock()
+	m.simulations++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *metrics) deduped()   { m.mu.Lock(); m.dedup++; m.mu.Unlock() }
+func (m *metrics) reject()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+
+func (m *metrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.inflight += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) httpDone(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.httpTotal[[2]string{route, strconv.Itoa(code)}]++
+	h, ok := m.latency[route]
+	if !ok {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(seconds)
+}
+
+// snapshot returns selected counters for tests and dikeload's summary.
+func (m *metrics) snapshot() (hits, misses, dedup, sims uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses, m.dedup, m.simulations
+}
+
+// writeTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, counters, gauges and cumulative
+// histograms, with label sets emitted in sorted order so scrapes are
+// deterministic.
+func (m *metrics) writeTo(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var depth, capacity, workers int
+	if m.gauges != nil {
+		depth, capacity, workers = m.gauges()
+	}
+	hitRatio := 0.0
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		hitRatio = float64(m.cacheHits) / float64(lookups)
+	}
+
+	var b []byte
+	app := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	app("# HELP dike_serve_queue_depth Jobs waiting in the bounded queue.\n# TYPE dike_serve_queue_depth gauge\ndike_serve_queue_depth %d\n", depth)
+	app("# HELP dike_serve_queue_capacity Bounded queue capacity.\n# TYPE dike_serve_queue_capacity gauge\ndike_serve_queue_capacity %d\n", capacity)
+	app("# HELP dike_serve_workers Size of the simulation worker pool.\n# TYPE dike_serve_workers gauge\ndike_serve_workers %d\n", workers)
+	app("# HELP dike_serve_inflight_jobs Jobs currently executing.\n# TYPE dike_serve_inflight_jobs gauge\ndike_serve_inflight_jobs %d\n", m.inflight)
+
+	app("# HELP dike_serve_jobs_total Jobs finished, by terminal status.\n# TYPE dike_serve_jobs_total counter\n")
+	for _, status := range sortedKeys(m.jobsTotal) {
+		app("dike_serve_jobs_total{status=%q} %d\n", status, m.jobsTotal[status])
+	}
+	app("# HELP dike_serve_simulations_total Simulations actually executed (cache hits serve jobs without one).\n# TYPE dike_serve_simulations_total counter\ndike_serve_simulations_total %d\n", m.simulations)
+	app("# HELP dike_serve_cache_hits_total Submissions served from the result cache.\n# TYPE dike_serve_cache_hits_total counter\ndike_serve_cache_hits_total %d\n", m.cacheHits)
+	app("# HELP dike_serve_cache_misses_total Submissions that missed the result cache.\n# TYPE dike_serve_cache_misses_total counter\ndike_serve_cache_misses_total %d\n", m.cacheMisses)
+	app("# HELP dike_serve_cache_hit_ratio Hits over lookups since start.\n# TYPE dike_serve_cache_hit_ratio gauge\ndike_serve_cache_hit_ratio %s\n", formatFloat(hitRatio))
+	app("# HELP dike_serve_dedup_total Submissions coalesced onto an identical in-flight job.\n# TYPE dike_serve_dedup_total counter\ndike_serve_dedup_total %d\n", m.dedup)
+	app("# HELP dike_serve_rejected_total Submissions rejected with 429 because the queue was full.\n# TYPE dike_serve_rejected_total counter\ndike_serve_rejected_total %d\n", m.rejected)
+
+	app("# HELP dike_serve_http_requests_total HTTP requests, by route and status code.\n# TYPE dike_serve_http_requests_total counter\n")
+	keys := make([][2]string, 0, len(m.httpTotal))
+	for k := range m.httpTotal {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		app("dike_serve_http_requests_total{route=%q,code=%q} %d\n", k[0], k[1], m.httpTotal[k])
+	}
+
+	app("# HELP dike_serve_http_request_seconds HTTP request latency, by route.\n# TYPE dike_serve_http_request_seconds histogram\n")
+	for _, route := range sortedKeys(m.latency) {
+		h := m.latency[route]
+		for i, ub := range latencyBuckets {
+			app("dike_serve_http_request_seconds_bucket{route=%q,le=%q} %d\n", route, formatFloat(ub), h.counts[i])
+		}
+		app("dike_serve_http_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.counts[len(latencyBuckets)])
+		app("dike_serve_http_request_seconds_sum{route=%q} %s\n", route, formatFloat(h.sum))
+		app("dike_serve_http_request_seconds_count{route=%q} %d\n", route, h.total)
+	}
+
+	_, err := w.Write(b)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,554 @@
+// Package serve exposes the simulation harness as a long-running
+// HTTP/JSON service: submit runs and sweeps, poll status, stream
+// per-quantum progress, scrape metrics. Under the API sit a bounded job
+// queue with backpressure (full queue → 429 + Retry-After), a worker
+// pool, and a digest-keyed LRU result cache with singleflight
+// deduplication — simulations are deterministic in their spec digest,
+// so an identical submission is served from cache or coalesced onto the
+// identical in-flight job instead of simulating twice.
+//
+// Shutdown is graceful: Drain stops admitting (submissions → 503),
+// lets queued and in-flight jobs finish, and flushes their results into
+// the cache before returning.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dike/internal/harness"
+	"dike/internal/workload"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the simulation worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs;
+	// submissions beyond it are rejected with 429. Default 64.
+	QueueDepth int
+	// CacheSize bounds the result cache, in results. Default 256.
+	CacheSize int
+	// DefaultDeadline bounds each job's wall-clock execution when the
+	// request does not set its own. Default 2 minutes.
+	DefaultDeadline time.Duration
+	// SweepWorkers is the intra-sweep concurrency (a sweep is 32
+	// simulations inside one worker slot). Default 1, so a sweep never
+	// occupies more than its slot's share of the machine.
+	SweepWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.SweepWorkers < 1 {
+		c.SweepWorkers = 1
+	}
+	return c
+}
+
+// Server is the simulation service. Create with New, start the worker
+// pool with Start, mount Handler on an http.Server, and stop with Drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
+	cache   *resultCache
+
+	// baseCtx parents every job context; closing it hard-cancels
+	// everything still running (used only after a drain deadline).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	inflight map[string]*Job // digest → leader job, until terminal
+	queue    chan *Job
+	draining bool
+	started  bool
+
+	wg sync.WaitGroup
+
+	// simulate/sweep are the harness entry points; tests substitute
+	// stubs to exercise queueing and backpressure deterministically.
+	simulate func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error)
+	sweep    func(ctx context.Context, w *workload.Workload, opts harness.Options) ([]harness.ConfigResult, error)
+}
+
+// New builds a Server. Call Start before serving traffic.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		cache:      newResultCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		simulate:   harness.Run,
+		sweep:      harness.Sweep,
+	}
+	s.metrics.gauges = func() (int, int, int) {
+		return len(s.queue), cfg.QueueDepth, cfg.Workers
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/runs", s.handleSubmitRun)
+	s.route("POST /v1/sweeps", s.handleSubmitSweep)
+	s.route("GET /v1/runs/{id}", s.handleGetJob)
+	s.route("DELETE /v1/runs/{id}", s.handleCancelJob)
+	s.route("GET /v1/runs/{id}/events", s.handleEvents)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.execute(job)
+			}
+		}()
+	}
+}
+
+// Handler returns the instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully shuts the server down: new submissions are refused
+// with 503, queued and in-flight jobs run to completion (their results
+// land in the cache), and the worker pool exits. If ctx expires first,
+// remaining jobs are hard-cancelled — each stops within one simulated
+// quantum thanks to the engine's context plumbing — and Drain returns
+// ctx.Err after the pool exits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard-cancel stragglers, then wait them out
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// CacheStats exposes hit/miss/dedup/simulation counters (for dikeload
+// summaries and tests).
+func (s *Server) CacheStats() (hits, misses, dedup, simulations uint64) {
+	return s.metrics.snapshot()
+}
+
+// route mounts an instrumented handler: every request is counted and
+// timed under its route pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+		s.metrics.httpDone(pattern, cw.code, time.Since(start).Seconds())
+	})
+}
+
+// codeWriter captures the response status for metrics.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach Flusher for the NDJSON
+// event stream through the instrumentation wrapper.
+func (w *codeWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// submitResponse is the body of a successful submission.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Digest string `json:"digest"`
+	// Cached: the result was already in the digest cache; the job is
+	// immediately done, no simulation ran.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped: an identical job was already queued or running; this is
+	// its id, and one simulation will serve both submitters.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, digest, err := buildRunSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := &Job{kind: "run", digest: digest, deadline: s.deadline(req.DeadlineMs)}
+	job.exec = func(ctx context.Context) (json.RawMessage, error) {
+		runSpec := spec
+		runSpec.OnProgress = func(p harness.Progress) {
+			job.events.publish(Event{
+				TMs:     p.Time.Millis(),
+				Quantum: p.Quantum,
+				Alive:   p.Alive,
+				Swaps:   p.Swaps,
+				Util:    p.Utilization,
+			})
+		}
+		s.metrics.simulated()
+		out, err := s.simulate(ctx, runSpec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(runResult(out))
+	}
+	s.admit(w, job)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wlNum := req.Workload
+	if wlNum == 0 {
+		wlNum = 1
+	}
+	wl, err := workload.Table2(wlNum)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 0.05
+	}
+	if scale < 0 || scale > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: scale %g outside (0, 1]", req.Scale))
+		return
+	}
+	job := &Job{kind: "sweep", digest: sweepDigest(wlNum, seed, scale), deadline: s.deadline(req.DeadlineMs)}
+	job.exec = func(ctx context.Context) (json.RawMessage, error) {
+		grid, err := s.sweep(ctx, wl, harness.Options{
+			Seed: seed, SweepScale: scale, Workers: s.cfg.SweepWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := SweepResult{Workload: wl.Name}
+		for _, g := range grid {
+			res.Grid = append(res.Grid, SweepPoint{
+				SwapSize: g.SwapSize, QuantaMs: g.Quanta.Millis(),
+				Fairness: g.Fairness, InvMakespan: g.Perf, Swaps: g.Swaps,
+			})
+		}
+		return json.Marshal(res)
+	}
+	s.admit(w, job)
+}
+
+// deadline resolves a request deadline against the server default.
+func (s *Server) deadline(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
+}
+
+// admit runs the submission pipeline: cache lookup, singleflight
+// coalescing, then bounded enqueue with backpressure.
+func (s *Server) admit(w http.ResponseWriter, job *Job) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting jobs"))
+		return
+	}
+
+	// Identical submission already in flight: one simulation serves both.
+	if leader, ok := s.inflight[job.digest]; ok {
+		s.mu.Unlock()
+		s.metrics.deduped()
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: leader.id, Status: leader.Status(), Digest: leader.digest, Deduped: true,
+		})
+		return
+	}
+
+	s.seq++
+	job.id = fmt.Sprintf("%s-%06d-%.8s", job.kind, s.seq, job.digest)
+	job.status = StatusQueued
+	job.submitted = time.Now()
+	job.done = make(chan struct{})
+	job.events = newBroker()
+	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+
+	// Result already known: complete without queueing or simulating.
+	if cached, ok := s.cache.get(job.digest); ok {
+		s.jobs[job.id] = job
+		s.mu.Unlock()
+		s.metrics.cacheHit()
+		job.mu.Lock()
+		job.status = StatusDone
+		job.cached = true
+		job.result = cached
+		job.started = job.submitted
+		job.finished = job.submitted
+		close(job.done)
+		job.mu.Unlock()
+		job.cancel()
+		job.events.close(Event{Status: StatusDone})
+		s.metrics.jobDone(StatusDone)
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: job.id, Status: StatusDone, Digest: job.digest, Cached: true,
+		})
+		return
+	}
+
+	// Bounded enqueue: never block the client, never queue unboundedly.
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.inflight[job.digest] = job
+		s.mu.Unlock()
+		s.metrics.cacheMiss()
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: job.id, Status: StatusQueued, Digest: job.digest,
+		})
+	default:
+		s.mu.Unlock()
+		job.cancel()
+		s.metrics.reject()
+		// A slot frees when a worker finishes a job; with simulations
+		// running for O(seconds), 1s is an honest first retry interval.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("serve: queue full (%d jobs)", s.cfg.QueueDepth))
+	}
+}
+
+// execute runs one job on a worker goroutine.
+func (s *Server) execute(job *Job) {
+	// Cancelled while queued (DELETE or hard drain): never start.
+	if err := job.ctx.Err(); err != nil {
+		s.finish(job, nil, err)
+		return
+	}
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.metrics.workerBusy(1)
+	defer s.metrics.workerBusy(-1)
+
+	ctx, cancel := context.WithTimeout(job.ctx, job.deadline)
+	defer cancel()
+	result, err := job.exec(ctx)
+	s.finish(job, result, err)
+}
+
+// finish moves a job to its terminal state, publishes the terminal
+// event, updates the cache and releases the singleflight slot.
+func (s *Server) finish(job *Job, result json.RawMessage, err error) {
+	status := StatusDone
+	final := Event{Status: StatusDone}
+	switch {
+	case err == nil:
+		s.cache.put(job.digest, result)
+	case errors.Is(err, context.Canceled):
+		status, final.Status = StatusCanceled, StatusCanceled
+	default:
+		status, final.Status = StatusFailed, StatusFailed
+		if errors.Is(err, context.DeadlineExceeded) {
+			final.Error = "deadline exceeded"
+		} else {
+			final.Error = err.Error()
+		}
+	}
+
+	s.mu.Lock()
+	if s.inflight[job.digest] == job {
+		delete(s.inflight, job.digest)
+	}
+	s.mu.Unlock()
+
+	job.mu.Lock()
+	job.status = status
+	job.result = result
+	job.errMsg = final.Error
+	job.finished = time.Now()
+	if job.started.IsZero() {
+		job.started = job.finished
+	}
+	close(job.done)
+	job.mu.Unlock()
+	job.cancel()
+	job.events.close(final)
+	s.metrics.jobDone(status)
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	// Queued jobs are cancelled when their worker picks them up; running
+	// jobs stop within one simulated quantum. A job another submitter
+	// was deduped onto is cancelled for them too — DELETE is on the job,
+	// not the submission.
+	job.cancel()
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	replay, live, cancel := job.events.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if enc.Encode(ev) != nil {
+			return
+		}
+	}
+	rc.Flush()
+	if live == nil {
+		return // stream already complete
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if enc.Encode(ev) != nil {
+				return
+			}
+			rc.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w)
+}
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error(), Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -51,6 +52,7 @@ type Engine struct {
 	step   Time // tick resolution
 	maxT   Time // safety horizon
 	ticks  []TickFunc
+	quanta []TickFunc
 }
 
 // Config parameterises an Engine.
@@ -124,16 +126,28 @@ func (e *Engine) OnTick(fn TickFunc) {
 	}
 }
 
+// OnQuantum registers fn to run after every successful scheduling
+// decision, at the decision's simulated time. The serve layer uses it to
+// stream per-quantum progress events while a run is in flight.
+func (e *Engine) OnQuantum(fn TickFunc) {
+	if fn != nil {
+		e.quanta = append(e.quanta, fn)
+	}
+}
+
 // Now returns the engine's current simulated time.
 func (e *Engine) Now() Time { return e.clock.Now() }
 
 // Run executes the simulation until the world is done. It returns the
-// completion time, or ErrHorizon if MaxTime elapses first.
+// completion time, or ErrHorizon if MaxTime elapses first. Cancelling
+// ctx aborts the run at the next tick — within one quantum of simulated
+// time — and returns ctx.Err(); use context.Background() for
+// uncancellable batch runs.
 //
 // The loop structure mirrors Figure 3 of the paper: time is divided into
 // quanta; within a quantum the machine just executes; at each quantum
 // boundary the policy observes, predicts, decides and migrates.
-func (e *Engine) Run() (Time, error) {
+func (e *Engine) Run(ctx context.Context) (Time, error) {
 	ql := e.policy.QuantaLength()
 	if ql <= 0 {
 		return 0, fmt.Errorf("sim: policy %q has non-positive quantum", e.policy.Name())
@@ -141,6 +155,9 @@ func (e *Engine) Run() (Time, error) {
 	nextQuantum := Time(0) // fire the first decision at t=0, before any work
 	for !e.world.Done() {
 		now := e.clock.Now()
+		if err := ctx.Err(); err != nil {
+			return now, err
+		}
 		if now >= e.maxT {
 			alive := -1
 			if lc, ok := e.world.(LiveCounter); ok {
@@ -157,6 +174,9 @@ func (e *Engine) Run() (Time, error) {
 				return now, fmt.Errorf("sim: policy %q set non-positive quantum at %v", e.policy.Name(), now)
 			}
 			nextQuantum = now + ql
+			for _, fn := range e.quanta {
+				fn(now)
+			}
 		}
 		// Do not step past the next quantum boundary: decisions must land
 		// exactly on their schedule even when quanta are not multiples of

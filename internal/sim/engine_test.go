@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -53,7 +54,7 @@ func TestEngineRunsToCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, err := e.Run()
+	done, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestEngineQuantumSchedule(t *testing.T) {
 	w := &fakeWorld{runFor: 500}
 	p := &fakePolicy{ql: 100}
 	e, _ := NewEngine(w, p, DefaultConfig())
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Quanta at 0, 100, 200, 300, 400 (the world finishes at 500).
@@ -86,7 +87,7 @@ func TestEngineAdaptiveQuantum(t *testing.T) {
 	w := &fakeWorld{runFor: 700}
 	p := &fakePolicy{ql: 100, retune: func(q Time) Time { return q * 2 }}
 	e, _ := NewEngine(w, p, DefaultConfig())
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Quantum at 0 (ql 100->200), 200 (->400), 600 (->800); 700 ends run.
@@ -107,7 +108,7 @@ func TestEngineStepNeverCrossesQuantum(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Step = 5
 	e, _ := NewEngine(w, p, cfg)
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Steps must be 5,2,5,2,... so that boundaries at multiples of 7 are
@@ -130,7 +131,7 @@ func TestEngineHorizon(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxTime = 1000
 	e, _ := NewEngine(w, p, cfg)
-	_, err := e.Run()
+	_, err := e.Run(context.Background())
 	if !errors.Is(err, ErrHorizon) {
 		t.Errorf("err = %v, want ErrHorizon", err)
 	}
@@ -155,7 +156,7 @@ func TestEngineHorizonReportsAlive(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxTime = 500
 	e, _ := NewEngine(w, p, cfg)
-	_, err := e.Run()
+	_, err := e.Run(context.Background())
 	var herr *HorizonError
 	if !errors.As(err, &herr) {
 		t.Fatalf("err = %v, want *HorizonError", err)
@@ -169,7 +170,7 @@ func TestEnginePolicyErrorStopsRun(t *testing.T) {
 	w := &fakeWorld{runFor: 1000}
 	p := &fakePolicy{ql: 100, err: errors.New("placement failed")}
 	e, _ := NewEngine(w, p, DefaultConfig())
-	_, err := e.Run()
+	_, err := e.Run(context.Background())
 	if err == nil {
 		t.Fatal("policy error was swallowed")
 	}
@@ -194,7 +195,7 @@ func TestEngineRejectsBadQuantum(t *testing.T) {
 	w := &fakeWorld{runFor: 10}
 	p := &fakePolicy{ql: 0}
 	e, _ := NewEngine(w, p, DefaultConfig())
-	if _, err := e.Run(); err == nil {
+	if _, err := e.Run(context.Background()); err == nil {
 		t.Error("non-positive quantum accepted")
 	}
 }
@@ -206,7 +207,7 @@ func TestEngineOnTick(t *testing.T) {
 	var ticks []Time
 	e.OnTick(func(now Time) { ticks = append(ticks, now) })
 	e.OnTick(nil) // must be ignored
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(ticks) != 10 {
@@ -216,6 +217,63 @@ func TestEngineOnTick(t *testing.T) {
 		if tk != Time(i+1) {
 			t.Fatalf("tick %d at %v, want %v", i, tk, i+1)
 		}
+	}
+}
+
+func TestEngineOnQuantum(t *testing.T) {
+	w := &fakeWorld{runFor: 500}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	var fired []Time
+	e.OnQuantum(func(now Time) { fired = append(fired, now) })
+	e.OnQuantum(nil) // must be ignored
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 100, 200, 300, 400}
+	if len(fired) != len(want) {
+		t.Fatalf("quantum hooks fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("quantum hooks fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineCancelledBeforeStart(t *testing.T) {
+	w := &fakeWorld{runFor: 1000}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(p.calls) != 0 {
+		t.Errorf("policy ran %d quanta under a cancelled context", len(p.calls))
+	}
+}
+
+func TestEngineCancelStopsWithinOneQuantum(t *testing.T) {
+	w := &fakeWorld{runFor: 1 << 40} // would run (simulated) forever
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAt = Time(250)
+	e.OnTick(func(now Time) {
+		if now >= cancelAt {
+			cancel()
+		}
+	})
+	stopped, err := e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The engine checks ctx every tick, so the run must halt within one
+	// quantum of simulated time after the cancellation landed.
+	if stopped < cancelAt || stopped > cancelAt+p.ql {
+		t.Errorf("run stopped at %v; cancel at %v must halt within one quantum (%v)", stopped, cancelAt, p.ql)
 	}
 }
 
