@@ -1,0 +1,115 @@
+// Command dikecoord runs the cluster coordinator: an HTTP/JSON front
+// for a fleet of dikeserved workers that speaks the same /v1/runs and
+// /v1/sweeps API as a single node, routes runs by spec digest over a
+// consistent-hash ring, shards sweeps across healthy workers and merges
+// the results deterministically.
+//
+// Usage:
+//
+//	dikecoord -workers http://w1:8080,http://w2:8080
+//	dikecoord -addr :9090 -probe-interval 1s -retries 4
+//
+// Endpoints:
+//
+//	POST   /v1/runs             submit a run (routed by digest)
+//	POST   /v1/sweeps           submit a sweep (sharded across workers)
+//	GET    /v1/runs/{id}        poll job status + result
+//	DELETE /v1/runs/{id}        cancel a job
+//	GET    /v1/runs/{id}/events NDJSON terminal-event stream
+//	GET    /v1/cluster/workers  fleet health + per-worker traffic
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//
+// On SIGINT/SIGTERM the coordinator drains using the same rules as
+// dikeserved: new submissions get 503, in-flight jobs and shards run to
+// completion (bounded by -drain-timeout), then the process exits. Drain
+// the coordinator before the workers — coordinator first, then fleet —
+// so no shard is re-routed into a draining worker.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dike/internal/cli"
+	"dike/internal/cluster"
+)
+
+func main() {
+	var (
+		addrFlag    = flag.String("addr", ":9090", "listen address")
+		workersFlag = flag.String("workers", "", "comma-separated dikeserved base URLs (required)")
+		probeFlag   = flag.Duration("probe-interval", 2*time.Second, "worker /healthz probing period")
+		shardFlag   = flag.Duration("shard-timeout", 2*time.Minute, "per-attempt bound on one run or shard (submit + poll)")
+		retryFlag   = flag.Int("retries", 3, "placement attempts per run or shard (first try included)")
+		drainFlag   = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	var workers []string
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(workers) == 0 {
+		cli.Fatal(fmt.Errorf("dikecoord: -workers requires at least one dikeserved URL"))
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:       workers,
+		ProbeInterval: *probeFlag,
+		ShardTimeout:  *shardFlag,
+		RetryBudget:   *retryFlag,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	coord.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dikecoord listening on %s, fronting %d workers: %s",
+			*addrFlag, len(workers), strings.Join(workers, ", "))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener died before any shutdown was requested.
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (timeout %v)", sig, *drainFlag)
+	}
+
+	// Drain the job layer first — submissions now get 503 while status,
+	// events, metrics and the fleet view stay readable — then close the
+	// HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := coord.Drain(ctx); err != nil {
+		log.Printf("drain incomplete, in-flight jobs were cancelled: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("dikecoord stopped")
+}

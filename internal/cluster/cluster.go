@@ -1,0 +1,407 @@
+// Package cluster is the coordinator that fronts a fleet of dikeserved
+// workers: one node that speaks the same /v1/runs and /v1/sweeps API as
+// a single worker (drop-in for dikeload), but spreads the load.
+//
+// Runs are routed by their spec digest over a consistent-hash ring, so
+// identical submissions always land on the same worker and hit its
+// digest-keyed cache and singleflight dedup; sweeps are split into
+// per-worker shard jobs (each shard a set of grid indices) and merged
+// by index, which — because every simulation is deterministic in its
+// spec — makes a sharded sweep byte-identical to a single-node one.
+//
+// Failure handling is bounded everywhere: workers are probed and marked
+// down/up, failed or timed-out placements retry with capped exponential
+// backoff plus jitter on the next worker in the ring, shards in flight
+// on a worker that goes down are re-routed, and when the whole fleet is
+// unreachable a job fails promptly with per-shard attribution rather
+// than hanging. Resubmitting a shard elsewhere is safe by construction:
+// worker jobs are content-addressed, so a duplicate placement dedups or
+// serves from cache instead of simulating twice.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"dike/internal/serve"
+	"dike/internal/serve/api"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Workers is the static fleet: dikeserved base URLs. Required.
+	Workers []string
+	// ProbeInterval is the /healthz probing period. Default 2s;
+	// negative disables probing (health then changes only passively,
+	// on request failures).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request. Default 1s.
+	ProbeTimeout time.Duration
+	// ShardTimeout bounds one placement attempt end to end: submit plus
+	// polling to a terminal state. Default 2 minutes.
+	ShardTimeout time.Duration
+	// SubmitTimeout bounds each individual HTTP call. Default 10s.
+	SubmitTimeout time.Duration
+	// PollInterval is the worker job polling period. Default 25ms.
+	PollInterval time.Duration
+	// RetryBudget is the total placement attempts per run or shard
+	// (first try included). Default 3.
+	RetryBudget int
+	// RetryBase/RetryMax shape the capped exponential backoff between
+	// attempts; the actual sleep is drawn uniformly from (0, min(RetryMax,
+	// RetryBase·2^attempt)] — full jitter, so a fleet-wide hiccup does
+	// not resynchronise every retry. Defaults 100ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Client is the HTTP client for worker traffic. Default: a client
+	// with no overall timeout (per-call contexts bound every request).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Minute
+	}
+	if c.SubmitTimeout <= 0 {
+		c.SubmitTimeout = 10 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.RetryBudget < 1 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator fronts the worker fleet. Create with New, start probing
+// with Start, mount Handler on an http.Server, stop with Drain.
+type Coordinator struct {
+	cfg    Config
+	reg    *registry
+	ring   *Ring
+	met    *metrics
+	client *http.Client
+	mux    *http.ServeMux
+
+	// baseCtx parents every job; closing it hard-cancels all drive
+	// goroutines (used only after a drain deadline).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*cjob
+	inflight int
+	draining bool
+	started  bool
+
+	wg         sync.WaitGroup // drive goroutines
+	proberDone chan struct{}  // closed when the prober exits; nil if never started
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
+}
+
+// New builds a Coordinator over the configured fleet.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.Workers),
+		ring:       ring,
+		met:        newClusterMetrics(),
+		client:     cfg.Client,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*cjob),
+		jitter:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.met.gauges = func() (int, int, int) {
+		healthy, total := c.reg.counts()
+		c.mu.Lock()
+		inflight := c.inflight
+		c.mu.Unlock()
+		return healthy, total, inflight
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmitRun)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSubmitSweep)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleGetJob)
+	c.mux.HandleFunc("DELETE /v1/runs/{id}", c.handleCancelJob)
+	c.mux.HandleFunc("GET /v1/runs/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return c, nil
+}
+
+// Start launches the health prober. Idempotent.
+func (c *Coordinator) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.cfg.ProbeInterval < 0 {
+		return
+	}
+	c.proberDone = make(chan struct{})
+	go func() {
+		defer close(c.proberDone)
+		// Probe immediately so a worker that is down at boot is marked
+		// before the first interval elapses.
+		c.reg.probeAll(c.baseCtx, c.client, c.cfg.ProbeTimeout)
+		ticker := time.NewTicker(c.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				c.reg.probeAll(c.baseCtx, c.client, c.cfg.ProbeTimeout)
+			case <-c.baseCtx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Workers exposes the fleet snapshot (for /v1/cluster/workers and tests).
+func (c *Coordinator) Workers() api.WorkersView {
+	views := c.reg.views(c.met.requestsFor, c.met.failuresFor)
+	healthy, _ := c.reg.counts()
+	return api.WorkersView{Workers: views, Healthy: healthy}
+}
+
+// RoutingStats exposes ring placement counters (for tests).
+func (c *Coordinator) RoutingStats() (primary, rerouted, retries uint64) {
+	return c.met.snapshot()
+}
+
+// Drain gracefully shuts the coordinator down: new submissions are
+// refused with 503 while status, events, metrics and fleet views stay
+// readable; in-flight jobs run to completion. Drain stops the
+// coordinator before the workers are stopped — drain ordering is
+// coordinator first, then workers — so no shard is re-routed into a
+// draining fleet. If ctx expires first, remaining jobs are
+// hard-cancelled and Drain returns ctx.Err after they exit.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	proberDone := c.proberDone
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Stop the prober (it only exits on baseCtx) and, on a blown
+	// deadline, hard-cancel the remaining drive goroutines too.
+	c.baseCancel()
+	<-done
+	if proberDone != nil {
+		<-proberDone
+	}
+	return err
+}
+
+// Draining reports whether the coordinator has begun shutting down.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// admit registers a new job and spawns its drive goroutine, or refuses
+// while draining.
+func (c *Coordinator) admit(w http.ResponseWriter, kind, digest string, drive func(j *cjob)) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		api.WriteError(w, http.StatusServiceUnavailable, errors.New("cluster: draining, not accepting jobs"))
+		return
+	}
+	c.seq++
+	j := &cjob{
+		id:        fmt.Sprintf("%s-%06d-%.8s", kind, c.seq, digest),
+		kind:      kind,
+		digest:    digest,
+		status:    api.StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(c.baseCtx)
+	c.jobs[j.id] = j
+	c.inflight++
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.inflight--
+			c.mu.Unlock()
+			c.wg.Done()
+		}()
+		defer j.cancel()
+		drive(j)
+		c.met.jobDone(j.currentStatus())
+	}()
+
+	api.WriteJSON(w, http.StatusAccepted, api.SubmitResponse{
+		ID: j.id, Status: api.StatusQueued, Digest: digest,
+	})
+}
+
+func (c *Coordinator) lookup(id string) *cjob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+func (c *Coordinator) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if err := api.DecodeJSON(r, &req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve exactly as the executing worker will: the digest is the
+	// routing key, so coordinator and worker must agree on it.
+	_, digest, err := serve.BuildRunSpec(req)
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.admit(w, "run", digest, func(j *cjob) { c.driveRun(j, req, digest) })
+}
+
+func (c *Coordinator) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := api.DecodeJSON(r, &req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	rs, err := serve.ResolveSweep(req)
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.admit(w, "sweep", rs.Digest, func(j *cjob) { c.driveSweep(j, rs) })
+}
+
+func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := c.lookup(r.PathValue("id"))
+	if j == nil {
+		api.WriteError(w, http.StatusNotFound, errors.New("cluster: no such job"))
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, j.view())
+}
+
+func (c *Coordinator) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := c.lookup(r.PathValue("id"))
+	if j == nil {
+		api.WriteError(w, http.StatusNotFound, errors.New("cluster: no such job"))
+		return
+	}
+	j.cancel()
+	api.WriteJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleEvents is the coordinator's NDJSON stream. Per-quantum events
+// are worker-local (the coordinator does not proxy them); the
+// coordinator's stream delivers the job's terminal event, which is what
+// a cluster client can rely on across re-routes.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := c.lookup(r.PathValue("id"))
+	if j == nil {
+		api.WriteError(w, http.StatusNotFound, errors.New("cluster: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	v := j.view()
+	ev := api.Event{Status: v.Status, Error: v.Error}
+	api.WriteNDJSON(w, ev)
+	rc.Flush()
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, c.Workers())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		api.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	healthy, total := c.reg.counts()
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "healthy_workers": healthy, "workers": total,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.writeTo(w)
+}
+
+// backoff sleeps the capped-exponential, fully-jittered delay for the
+// given retry attempt (1-based), or returns early when ctx ends.
+func (c *Coordinator) backoff(ctx context.Context, attempt int) {
+	max := c.cfg.RetryBase << (attempt - 1)
+	if max > c.cfg.RetryMax || max <= 0 {
+		max = c.cfg.RetryMax
+	}
+	c.jmu.Lock()
+	d := time.Duration(c.jitter.Int63n(int64(max))) + 1
+	c.jmu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"dike/internal/serve/api"
+)
+
+// cjob is one coordinator job: a run forwarded to a worker, or a sweep
+// fanned out as shards. The coordinator owns the job's lifecycle; the
+// workers it places work on keep their own (digest-deduped) jobs.
+type cjob struct {
+	id     string
+	kind   string // "run" | "sweep"
+	digest string
+	// ctx/cancel cover the job's whole life; DELETE cancels the drive
+	// goroutine, which abandons its worker calls.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	status    string
+	errMsg    string
+	result    json.RawMessage
+	workers   []string // workers that served successful placements
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// view snapshots the job for the API.
+func (j *cjob) view() api.JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := api.JobView{
+		ID:     j.id,
+		Kind:   j.kind,
+		Status: j.status,
+		Digest: j.digest,
+		Error:  j.errMsg,
+		Result: j.result,
+	}
+	if !j.started.IsZero() {
+		v.QueueMs = j.started.Sub(j.submitted).Milliseconds()
+		if !j.finished.IsZero() {
+			v.RunMs = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	return v
+}
+
+func (j *cjob) setRunning() {
+	j.mu.Lock()
+	j.status = api.StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// servedBy records a worker that completed a placement for this job.
+func (j *cjob) servedBy(worker string) {
+	j.mu.Lock()
+	j.workers = append(j.workers, worker)
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *cjob) finish(status string, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if api.Terminal(j.status) {
+		return
+	}
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	close(j.done)
+}
+
+func (j *cjob) currentStatus() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// shardBuckets are the upper bounds (seconds) of the shard-latency
+// histogram: a shard is a batch of simulations plus polling, so the
+// range runs from sub-second stub shards to multi-minute sweeps.
+var shardBuckets = []float64{
+	0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style, mirroring the serve layer's.
+type histogram struct {
+	counts []uint64 // len(shardBuckets)+1, lazily allocated
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(shardBuckets)+1)
+	}
+	for i, ub := range shardBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.counts[len(shardBuckets)]++
+	h.sum += v
+	h.total++
+}
+
+// metrics is the coordinator's hand-rolled registry, extending the
+// fleet's observability with what only the coordinator can see: which
+// worker served what, how often routing had to leave the ring owner,
+// and how long shards take end to end.
+type metrics struct {
+	mu sync.Mutex
+	// workerRequests/workerFailures count coordinator→worker job
+	// placements and their failures, per worker.
+	workerRequests map[string]uint64
+	workerFailures map[string]uint64
+	// retries counts re-route attempts beyond each job's first.
+	retries uint64
+	// ringPrimary/ringRerouted split placements by whether they landed
+	// on the key's ring owner (cache-affine) or a successor.
+	ringPrimary  uint64
+	ringRerouted uint64
+	// jobsTotal counts coordinator jobs by terminal status.
+	jobsTotal map[string]uint64
+	// shardLatency histograms successful shard round-trips (submit
+	// through terminal poll), seconds.
+	shardLatency histogram
+
+	// gauges samples live fleet state at scrape time.
+	gauges func() (healthy, total, inflight int)
+}
+
+func newClusterMetrics() *metrics {
+	return &metrics{
+		workerRequests: make(map[string]uint64),
+		workerFailures: make(map[string]uint64),
+		jobsTotal:      make(map[string]uint64),
+	}
+}
+
+func (m *metrics) placement(worker string, primary bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerRequests[worker]++
+	if primary {
+		m.ringPrimary++
+	} else {
+		m.ringRerouted++
+	}
+}
+
+func (m *metrics) failure(worker string) {
+	m.mu.Lock()
+	m.workerFailures[worker]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobDone(status string) {
+	m.mu.Lock()
+	m.jobsTotal[status]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) shardDone(seconds float64) {
+	m.mu.Lock()
+	m.shardLatency.observe(seconds)
+	m.mu.Unlock()
+}
+
+// snapshot returns selected counters for tests.
+func (m *metrics) snapshot() (primary, rerouted, retries uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ringPrimary, m.ringRerouted, m.retries
+}
+
+func (m *metrics) requestsFor(worker string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workerRequests[worker]
+}
+
+func (m *metrics) failuresFor(worker string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workerFailures[worker]
+}
+
+// writeTo renders the registry in the Prometheus text exposition format
+// with label sets in sorted order, mirroring the serve layer's scrapes.
+func (m *metrics) writeTo(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var healthy, total, inflight int
+	if m.gauges != nil {
+		healthy, total, inflight = m.gauges()
+	}
+	hitRatio := 0.0
+	if placed := m.ringPrimary + m.ringRerouted; placed > 0 {
+		hitRatio = float64(m.ringPrimary) / float64(placed)
+	}
+
+	var b []byte
+	app := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	app("# HELP dike_cluster_workers_total Configured fleet size.\n# TYPE dike_cluster_workers_total gauge\ndike_cluster_workers_total %d\n", total)
+	app("# HELP dike_cluster_workers_healthy Workers currently marked healthy.\n# TYPE dike_cluster_workers_healthy gauge\ndike_cluster_workers_healthy %d\n", healthy)
+	app("# HELP dike_cluster_inflight_jobs Coordinator jobs currently in flight.\n# TYPE dike_cluster_inflight_jobs gauge\ndike_cluster_inflight_jobs %d\n", inflight)
+
+	app("# HELP dike_cluster_jobs_total Coordinator jobs finished, by terminal status.\n# TYPE dike_cluster_jobs_total counter\n")
+	for _, status := range sortedKeys(m.jobsTotal) {
+		app("dike_cluster_jobs_total{status=%q} %d\n", status, m.jobsTotal[status])
+	}
+
+	app("# HELP dike_cluster_worker_requests_total Jobs and shards placed on each worker.\n# TYPE dike_cluster_worker_requests_total counter\n")
+	for _, url := range sortedKeys(m.workerRequests) {
+		app("dike_cluster_worker_requests_total{worker=%q} %d\n", url, m.workerRequests[url])
+	}
+	app("# HELP dike_cluster_worker_failures_total Placements that failed, per worker.\n# TYPE dike_cluster_worker_failures_total counter\n")
+	for _, url := range sortedKeys(m.workerFailures) {
+		app("dike_cluster_worker_failures_total{worker=%q} %d\n", url, m.workerFailures[url])
+	}
+
+	app("# HELP dike_cluster_retries_total Re-route attempts beyond each job's first placement.\n# TYPE dike_cluster_retries_total counter\ndike_cluster_retries_total %d\n", m.retries)
+	app("# HELP dike_cluster_ring_primary_total Placements that landed on the key's ring owner.\n# TYPE dike_cluster_ring_primary_total counter\ndike_cluster_ring_primary_total %d\n", m.ringPrimary)
+	app("# HELP dike_cluster_ring_rerouted_total Placements routed past the ring owner (unhealthy or retried).\n# TYPE dike_cluster_ring_rerouted_total counter\ndike_cluster_ring_rerouted_total %d\n", m.ringRerouted)
+	app("# HELP dike_cluster_ring_hit_ratio Primary placements over all placements since start.\n# TYPE dike_cluster_ring_hit_ratio gauge\ndike_cluster_ring_hit_ratio %s\n", formatFloat(hitRatio))
+
+	app("# HELP dike_cluster_shard_seconds Successful shard round-trip latency (submit through terminal poll).\n# TYPE dike_cluster_shard_seconds histogram\n")
+	h := &m.shardLatency
+	for i, ub := range shardBuckets {
+		count := uint64(0)
+		if h.counts != nil {
+			count = h.counts[i]
+		}
+		app("dike_cluster_shard_seconds_bucket{le=%q} %d\n", formatFloat(ub), count)
+	}
+	inf := uint64(0)
+	if h.counts != nil {
+		inf = h.counts[len(shardBuckets)]
+	}
+	app("dike_cluster_shard_seconds_bucket{le=\"+Inf\"} %d\n", inf)
+	app("dike_cluster_shard_seconds_sum %s\n", formatFloat(h.sum))
+	app("dike_cluster_shard_seconds_count %d\n", h.total)
+
+	_, err := w.Write(b)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

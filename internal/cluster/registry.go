@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"dike/internal/serve/api"
+)
+
+// workerState tracks one worker's health as seen by the coordinator.
+// Workers start healthy (optimistic: the first probe tick corrects a
+// wrong guess within one interval, and a cold coordinator can route
+// immediately). One failed probe or request marks a worker down — the
+// cost of a false mark-down is a re-route to a cache-cold worker, the
+// cost of a slow mark-down is a stalled shard — and one successful
+// probe marks it back up.
+type workerState struct {
+	url string
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	lastChange  time.Time
+	lastErr     string
+}
+
+func (w *workerState) markUp() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.healthy {
+		w.lastChange = time.Now()
+	}
+	w.healthy = true
+	w.consecFails = 0
+	w.lastErr = ""
+}
+
+func (w *workerState) markDown(reason string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.healthy {
+		w.lastChange = time.Now()
+	}
+	w.healthy = false
+	w.consecFails++
+	w.lastErr = reason
+}
+
+func (w *workerState) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// registry is the coordinator's static worker set plus live health
+// state. Membership never changes after construction (the fleet is
+// flag-configured); only health does.
+type registry struct {
+	workers []*workerState // configuration order
+	byURL   map[string]*workerState
+}
+
+func newRegistry(urls []string) *registry {
+	r := &registry{byURL: make(map[string]*workerState, len(urls))}
+	now := time.Now()
+	for _, u := range urls {
+		w := &workerState{url: u, healthy: true, lastChange: now}
+		r.workers = append(r.workers, w)
+		r.byURL[u] = w
+	}
+	return r
+}
+
+func (r *registry) markUp(url string) {
+	if w := r.byURL[url]; w != nil {
+		w.markUp()
+	}
+}
+
+func (r *registry) markDown(url, reason string) {
+	if w := r.byURL[url]; w != nil {
+		w.markDown(reason)
+	}
+}
+
+func (r *registry) isHealthy(url string) bool {
+	w := r.byURL[url]
+	return w != nil && w.isHealthy()
+}
+
+// counts returns (healthy, total).
+func (r *registry) counts() (int, int) {
+	n := 0
+	for _, w := range r.workers {
+		if w.isHealthy() {
+			n++
+		}
+	}
+	return n, len(r.workers)
+}
+
+// views snapshots every worker for /v1/cluster/workers, folding in the
+// coordinator's per-worker traffic counters.
+func (r *registry) views(requests, failures func(url string) uint64) []api.WorkerView {
+	out := make([]api.WorkerView, 0, len(r.workers))
+	for _, w := range r.workers {
+		w.mu.Lock()
+		v := api.WorkerView{
+			URL:                 w.url,
+			Healthy:             w.healthy,
+			ConsecutiveFailures: w.consecFails,
+			LastProbeMs:         time.Since(w.lastChange).Milliseconds(),
+			LastError:           w.lastErr,
+		}
+		w.mu.Unlock()
+		v.Requests = requests(w.url)
+		v.Failures = failures(w.url)
+		out = append(out, v)
+	}
+	return out
+}
+
+// probeAll probes every worker's /healthz once, in parallel, and
+// updates health state: 200 marks up, anything else (including a
+// draining worker's 503) marks down.
+func (r *registry) probeAll(ctx context.Context, client *http.Client, timeout time.Duration) {
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/healthz", nil)
+			if err != nil {
+				w.markDown("probe: " + err.Error())
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				w.markDown("probe: " + err.Error())
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				w.markDown("probe: " + resp.Status)
+				return
+			}
+			w.markUp()
+		}(w)
+	}
+	wg.Wait()
+}

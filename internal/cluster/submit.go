@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dike/internal/harness"
+	"dike/internal/serve"
+	"dike/internal/serve/api"
+)
+
+// errWorkerDown reports a placement abandoned because the registry
+// marked its worker unhealthy mid-flight; the shard is re-routed.
+var errWorkerDown = errors.New("cluster: worker marked down mid-job")
+
+// errNoHealthyWorkers reports that every configured worker is down.
+var errNoHealthyWorkers = errors.New("cluster: no healthy workers")
+
+// retryableError marks a placement failure worth trying on another
+// worker (transport error, 429/5xx, mark-down). Terminal worker answers
+// — a job that ran and failed, or a 4xx — are not retried: simulations
+// are deterministic, so the same spec fails the same way everywhere.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func retryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re) || errors.Is(err, errWorkerDown)
+}
+
+// placement is a successful worker round-trip: the terminal job view
+// and which worker produced it.
+type placement struct {
+	view   api.JobView
+	worker string
+}
+
+// callWorker submits body to worker at path and polls the resulting job
+// to a terminal state. It returns a retryableError for failures that
+// merit another worker, and abandons the poll (re-routable) if the
+// registry marks the worker down mid-flight.
+func (c *Coordinator) callWorker(ctx context.Context, worker, path string, body []byte) (api.JobView, error) {
+	sub, err := c.postSubmit(ctx, worker, path, body)
+	if err != nil {
+		return api.JobView{}, err
+	}
+	ticker := time.NewTicker(c.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		view, err := c.getJob(ctx, worker, sub.ID)
+		if err != nil {
+			return api.JobView{}, err
+		}
+		if api.Terminal(view.Status) {
+			return view, nil
+		}
+		if !c.reg.isHealthy(worker) {
+			return api.JobView{}, errWorkerDown
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return api.JobView{}, &retryableError{fmt.Errorf("cluster: placement on %s: %w", worker, ctx.Err())}
+		}
+	}
+}
+
+// postSubmit performs the submission POST.
+func (c *Coordinator) postSubmit(ctx context.Context, worker, path string, body []byte) (api.SubmitResponse, error) {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.SubmitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost, worker+path, bytes.NewReader(body))
+	if err != nil {
+		return api.SubmitResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.reg.markDown(worker, err.Error())
+		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: submit to %s: %w", worker, err)}
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Backpressure: the worker is healthy but full. Retry (after
+		// backoff) without marking it down.
+		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: %s backpressured: %s", worker, strings.TrimSpace(string(raw)))}
+	case resp.StatusCode >= 500:
+		// 503 draining or another server-side failure: treat like an
+		// unreachable worker.
+		c.reg.markDown(worker, resp.Status)
+		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: submit to %s: %s", worker, resp.Status)}
+	default:
+		// 4xx: the request itself is bad; every worker would refuse it.
+		return api.SubmitResponse{}, fmt.Errorf("cluster: %s rejected submission: %s: %s", worker, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var sub api.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: bad submit response from %s: %v", worker, err)}
+	}
+	return sub, nil
+}
+
+// getJob fetches one job view from a worker.
+func (c *Coordinator) getJob(ctx context.Context, worker, id string) (api.JobView, error) {
+	gctx, cancel := context.WithTimeout(ctx, c.cfg.SubmitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(gctx, http.MethodGet, worker+"/v1/runs/"+id, nil)
+	if err != nil {
+		return api.JobView{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.reg.markDown(worker, err.Error())
+		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %w", worker, err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.reg.markDown(worker, "poll: "+resp.Status)
+		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %s", worker, resp.Status)}
+	}
+	var view api.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %w", worker, err)}
+	}
+	return view, nil
+}
+
+// place runs the full retry loop for one unit of work (a run or a
+// shard): walk healthy workers in the ring's preference order for key,
+// with capped exponential backoff plus jitter between attempts, until
+// the retry budget is spent. Every failed attempt is recorded with its
+// worker so the caller can attribute the failure.
+func (c *Coordinator) place(ctx context.Context, pref []string, path string, body []byte) (placement, error) {
+	var attempts []string
+	for try := 0; try < c.cfg.RetryBudget; try++ {
+		if err := ctx.Err(); err != nil {
+			return placement{}, err
+		}
+		if try > 0 {
+			c.met.retry()
+			c.backoff(ctx, try)
+		}
+		worker, ok := c.pickWorker(pref, try)
+		if !ok {
+			attempts = append(attempts, fmt.Sprintf("attempt %d: %v", try+1, errNoHealthyWorkers))
+			// Nothing to route to: fail fast rather than spin out the
+			// whole budget against an empty fleet.
+			break
+		}
+		c.met.placement(worker, worker == pref[0])
+		actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		start := time.Now()
+		view, err := c.callWorker(actx, worker, path, body)
+		cancel()
+		if err == nil {
+			c.met.shardDone(time.Since(start).Seconds())
+			return placement{view: view, worker: worker}, nil
+		}
+		c.met.failure(worker)
+		attempts = append(attempts, fmt.Sprintf("attempt %d on %s: %v", try+1, worker, err))
+		if !retryable(err) {
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return placement{}, err
+	}
+	return placement{}, errors.New(strings.Join(attempts, "; "))
+}
+
+// pickWorker returns the try-th healthy worker in preference order.
+func (c *Coordinator) pickWorker(pref []string, try int) (string, bool) {
+	var healthy []string
+	for _, w := range pref {
+		if c.reg.isHealthy(w) {
+			healthy = append(healthy, w)
+		}
+	}
+	if len(healthy) == 0 {
+		return "", false
+	}
+	return healthy[try%len(healthy)], true
+}
+
+// driveRun executes one run job: route by digest, place with retries,
+// adopt the worker's terminal state.
+func (c *Coordinator) driveRun(j *cjob, req api.RunRequest, digest string) {
+	j.setRunning()
+	body, err := json.Marshal(req)
+	if err != nil {
+		j.finish(api.StatusFailed, nil, "cluster: marshal run request: "+err.Error())
+		return
+	}
+	pl, err := c.place(j.ctx, c.ring.Order(digest), "/v1/runs", body)
+	if err != nil {
+		c.finishErr(j, err)
+		return
+	}
+	j.servedBy(pl.worker)
+	j.finish(pl.view.Status, pl.view.Result, pl.view.Error)
+}
+
+// shardOutcome is one shard's fate inside a sweep fan-out.
+type shardOutcome struct {
+	indices []int
+	worker  string
+	points  []api.SweepPoint
+	err     error
+}
+
+// driveSweep fans a sweep out across the fleet and merges the shards
+// deterministically. Each grid point is routed by its own RunSpec
+// digest — identical points always prefer the same worker, keeping the
+// fleet's caches hot — and points sharing a preferred worker are
+// batched into one shard job. Shards that fail re-route to the next
+// worker in the ring inside place; whatever still fails after the
+// retry budget produces a partial-result error naming every failed
+// shard and the attempts made for it.
+func (c *Coordinator) driveSweep(j *cjob, rs serve.ResolvedSweep) {
+	j.setRunning()
+	specs, _ := harness.SweepGrid(rs.Workload, rs.Options(1))
+	indices := rs.Indices
+	if indices == nil {
+		indices = make([]int, len(specs))
+		for i := range specs {
+			indices[i] = i
+		}
+	}
+
+	// Group grid points by the first healthy worker in each point's
+	// ring preference (falling back to the owner when the whole fleet
+	// is down — the placement will then fail fast with attribution).
+	prefs := make(map[int][]string, len(indices))
+	groups := make(map[string][]int)
+	for _, idx := range indices {
+		d, err := specs[idx].Digest()
+		if err != nil {
+			j.finish(api.StatusFailed, nil, fmt.Sprintf("cluster: digest grid point %d: %v", idx, err))
+			return
+		}
+		pref := c.ring.Order(d)
+		prefs[idx] = pref
+		owner := pref[0]
+		if w, ok := c.pickWorker(pref, 0); ok {
+			owner = w
+		}
+		groups[owner] = append(groups[owner], idx)
+	}
+
+	outcomes := make(chan shardOutcome, len(groups))
+	var wg sync.WaitGroup
+	for worker, shard := range groups {
+		wg.Add(1)
+		go func(worker string, shard []int) {
+			defer wg.Done()
+			outcomes <- c.driveShard(j.ctx, rs, prefs[shard[0]], shard)
+		}(worker, shard)
+	}
+	wg.Wait()
+	close(outcomes)
+
+	merged := make(map[int]api.SweepPoint, len(indices))
+	var failed []shardOutcome
+	workers := make(map[string]bool)
+	for o := range outcomes {
+		if o.err != nil {
+			failed = append(failed, o)
+			continue
+		}
+		workers[o.worker] = true
+		for i, idx := range o.indices {
+			if _, dup := merged[idx]; dup {
+				o.err = fmt.Errorf("grid point %d delivered twice", idx)
+				failed = append(failed, o)
+				break
+			}
+			merged[idx] = o.points[i]
+		}
+	}
+	if err := j.ctx.Err(); err != nil {
+		c.finishErr(j, err)
+		return
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool { return failed[a].indices[0] < failed[b].indices[0] })
+		parts := make([]string, 0, len(failed))
+		for _, o := range failed {
+			parts = append(parts, fmt.Sprintf("shard %v: %v", o.indices, o.err))
+		}
+		j.finish(api.StatusFailed, nil, fmt.Sprintf(
+			"cluster: sweep incomplete: %d/%d grid points merged; %s",
+			len(merged), len(indices), strings.Join(parts, "; ")))
+		return
+	}
+
+	// Deterministic merge: points land by grid index, never by arrival
+	// order, and the completeness check refuses a silent gap.
+	grid := make([]api.SweepPoint, 0, len(indices))
+	for _, idx := range indices {
+		p, ok := merged[idx]
+		if !ok {
+			j.finish(api.StatusFailed, nil, fmt.Sprintf("cluster: grid point %d missing after merge", idx))
+			return
+		}
+		grid = append(grid, p)
+	}
+	for w := range workers {
+		j.servedBy(w)
+	}
+	result, err := json.Marshal(api.SweepResult{Workload: rs.Workload.Name, Shard: rs.Indices, Grid: grid})
+	if err != nil {
+		j.finish(api.StatusFailed, nil, "cluster: marshal sweep result: "+err.Error())
+		return
+	}
+	j.finish(api.StatusDone, result, "")
+}
+
+// driveShard places one shard (a set of grid indices) and decodes its
+// points.
+func (c *Coordinator) driveShard(ctx context.Context, rs serve.ResolvedSweep, pref []string, shard []int) shardOutcome {
+	o := shardOutcome{indices: shard}
+	seed := rs.Seed
+	body, err := json.Marshal(api.SweepRequest{
+		Workload: rs.WorkloadNum, Seed: &seed, Scale: rs.Scale, Shard: shard,
+	})
+	if err != nil {
+		o.err = err
+		return o
+	}
+	pl, err := c.place(ctx, pref, "/v1/sweeps", body)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	o.worker = pl.worker
+	if pl.view.Status != api.StatusDone {
+		o.err = fmt.Errorf("worker %s: job %s: %s", pl.worker, pl.view.Status, pl.view.Error)
+		return o
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(pl.view.Result, &res); err != nil {
+		o.err = fmt.Errorf("worker %s: decode shard result: %w", pl.worker, err)
+		return o
+	}
+	if len(res.Grid) != len(shard) {
+		o.err = fmt.Errorf("worker %s: shard returned %d points for %d indices", pl.worker, len(res.Grid), len(shard))
+		return o
+	}
+	o.points = res.Grid
+	return o
+}
+
+// finishErr maps a drive error to the job's terminal state: context
+// cancellation becomes canceled, everything else failed.
+func (c *Coordinator) finishErr(j *cjob, err error) {
+	if errors.Is(err, context.Canceled) {
+		j.finish(api.StatusCanceled, nil, "")
+		return
+	}
+	j.finish(api.StatusFailed, nil, err.Error())
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dike/internal/core"
+	"dike/internal/workload"
+)
+
+// SweepGrid returns the sweep's resolved run specs and the matching grid
+// metadata (one skeleton ConfigResult per spec, SwapSize/Quanta filled),
+// in the sweep's stable order (quanta-major, swap sizes ascending). It
+// is the single source of truth for what "grid index i" means: sharded
+// and single-node sweeps both derive their spec list from it, so an
+// index routed to a remote worker names exactly the run a local sweep
+// would execute at that position.
+func SweepGrid(w *workload.Workload, optsIn Options) ([]RunSpec, []ConfigResult) {
+	opts := optsIn.withDefaults()
+	return sweepGrid(w, opts)
+}
+
+// sweepGrid is SweepGrid over already-defaulted options.
+func sweepGrid(w *workload.Workload, opts Options) ([]RunSpec, []ConfigResult) {
+	var specs []RunSpec
+	var meta []ConfigResult
+	for _, q := range core.QuantaLevels {
+		for _, ss := range core.SwapSizeLevels() {
+			cfg := core.DefaultConfig()
+			cfg.QuantaLength = q
+			cfg.SwapSize = ss
+			specs = append(specs, RunSpec{
+				Workload: w, Policy: PolicyDike, DikeConfig: &cfg,
+				Seed: opts.Seed, Scale: opts.SweepScale,
+			})
+			meta = append(meta, ConfigResult{SwapSize: ss, Quanta: q})
+		}
+	}
+	return specs, meta
+}
+
+// ValidateShard checks that indices form a well-formed shard of a
+// total-point grid: non-empty, strictly increasing (sorted, no
+// duplicates) and in [0, total).
+func ValidateShard(indices []int, total int) error {
+	if len(indices) == 0 {
+		return fmt.Errorf("harness: empty shard")
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= total {
+			return fmt.Errorf("harness: shard index %d outside grid [0, %d)", idx, total)
+		}
+		if i > 0 && idx <= indices[i-1] {
+			return fmt.Errorf("harness: shard indices not strictly increasing at %d", idx)
+		}
+	}
+	return nil
+}
+
+// SweepShard runs only the grid points named by indices (positions in
+// SweepGrid order, strictly increasing) and returns their results in
+// that same index order. A sweep sharded across machines and merged with
+// MergeShards is therefore identical to the single-node sweep: every
+// shard executes the same RunSpec the full sweep would, and simulations
+// are deterministic in their spec.
+func SweepShard(ctx context.Context, w *workload.Workload, optsIn Options, indices []int) ([]ConfigResult, error) {
+	opts := optsIn.withDefaults()
+	specs, meta := sweepGrid(w, opts)
+	if err := ValidateShard(indices, len(specs)); err != nil {
+		return nil, err
+	}
+	sub := make([]RunSpec, len(indices))
+	res := make([]ConfigResult, len(indices))
+	for i, idx := range indices {
+		sub[i] = specs[idx]
+		res[i] = meta[idx]
+	}
+	outs, err := RunAll(ctx, sub, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		res[i].Fairness = out.Result.Fairness
+		res[i].Perf = 1 / out.Result.Makespan
+		res[i].Swaps = out.Result.Swaps
+	}
+	return res, nil
+}
+
+// MergeShards reassembles a full sweep grid from disjoint shards keyed
+// by grid index. The merge is deterministic — results are placed by
+// index, never by arrival order — and strict: a missing, duplicate or
+// out-of-range index is an error, so a dropped or double-executed shard
+// can never be silently papered over.
+func MergeShards(total int, shards map[int]ConfigResult) ([]ConfigResult, error) {
+	if len(shards) != total {
+		missing := make([]int, 0, total-len(shards))
+		for i := 0; i < total; i++ {
+			if _, ok := shards[i]; !ok {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("harness: merge missing grid indices %v", missing)
+		}
+	}
+	grid := make([]ConfigResult, total)
+	seen := 0
+	for idx, r := range shards {
+		if idx < 0 || idx >= total {
+			return nil, fmt.Errorf("harness: merge index %d outside grid [0, %d)", idx, total)
+		}
+		grid[idx] = r
+		seen++
+	}
+	if seen != total {
+		return nil, fmt.Errorf("harness: merged %d results into a %d-point grid", seen, total)
+	}
+	return grid, nil
+}
+
+// SweepDigest content-addresses a sweep (or a shard of one, when
+// indices is non-nil) by the digests of its resolved run specs, in grid
+// order. Deriving the sweep key from RunSpec.Digest — rather than
+// hashing the raw request fields — means a sweep's cache key moves in
+// lockstep with the run cache keys: anything that would change any
+// constituent run's digest (workload content, resolved Dike or machine
+// configuration, seed, scale) changes the sweep digest too, and nothing
+// else does.
+func SweepDigest(w *workload.Workload, opts Options, indices []int) (string, error) {
+	specs, _ := SweepGrid(w, opts)
+	if indices != nil {
+		if err := ValidateShard(indices, len(specs)); err != nil {
+			return "", err
+		}
+	}
+	digests := make([]string, len(specs))
+	for i, spec := range specs {
+		d, err := spec.Digest()
+		if err != nil {
+			return "", err
+		}
+		digests[i] = d
+	}
+	blob, err := json.Marshal(struct {
+		Kind    string
+		Specs   []string
+		Indices []int `json:",omitempty"`
+	}{"sweep", digests, indices})
+	if err != nil {
+		return "", fmt.Errorf("harness: sweep digest: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ShardSlices partitions grid indices into per-key groups using route:
+// index → routing key (typically a cluster worker). Groups come back
+// keyed by route key with their indices sorted ascending, plus the
+// sorted key list for deterministic iteration.
+func ShardSlices(total int, route func(index int) string) (map[string][]int, []string) {
+	groups := make(map[string][]int)
+	for i := 0; i < total; i++ {
+		k := route(i)
+		groups[k] = append(groups[k], i)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		sort.Ints(groups[k])
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return groups, keys
+}

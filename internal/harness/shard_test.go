@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"dike/internal/workload"
+)
+
+// TestSweepShardMergeMatchesFullSweep is the core determinism property
+// the cluster layer rests on: running the grid in arbitrary disjoint
+// shards and merging by index reproduces the single-node sweep exactly.
+func TestSweepShardMergeMatchesFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	w := workload.MustTable2(1)
+	opts := Options{Seed: 42, SweepScale: 0.01, Workers: 4}
+
+	full, err := Sweep(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleaved shards, deliberately not contiguous.
+	var even, odd []int
+	for i := range full {
+		if i%2 == 0 {
+			even = append(even, i)
+		} else {
+			odd = append(odd, i)
+		}
+	}
+	shards := make(map[int]ConfigResult)
+	for _, indices := range [][]int{even, odd} {
+		res, err := SweepShard(context.Background(), w, opts, indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(indices) {
+			t.Fatalf("shard returned %d results for %d indices", len(res), len(indices))
+		}
+		for i, idx := range indices {
+			shards[idx] = res[i]
+		}
+	}
+	merged, err := MergeShards(len(full), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if merged[i] != full[i] {
+			t.Fatalf("grid point %d differs: sharded %+v vs full %+v", i, merged[i], full[i])
+		}
+	}
+}
+
+func TestSweepGridStableOrder(t *testing.T) {
+	w := workload.MustTable2(1)
+	specs, meta := SweepGrid(w, Options{Seed: 42, SweepScale: 0.05})
+	if len(specs) != len(meta) || len(specs) == 0 {
+		t.Fatalf("grid specs/meta mismatch: %d vs %d", len(specs), len(meta))
+	}
+	specs2, meta2 := SweepGrid(w, Options{Seed: 42, SweepScale: 0.05})
+	for i := range specs {
+		if meta[i] != meta2[i] {
+			t.Fatalf("grid meta order unstable at %d", i)
+		}
+		d1, err1 := specs[i].Digest()
+		d2, err2 := specs2[i].Digest()
+		if err1 != nil || err2 != nil || d1 != d2 {
+			t.Fatalf("grid spec %d digest unstable: %v %v", i, err1, err2)
+		}
+	}
+}
+
+func TestValidateShard(t *testing.T) {
+	cases := []struct {
+		name    string
+		indices []int
+		total   int
+		ok      bool
+	}{
+		{"full", []int{0, 1, 2, 3}, 4, true},
+		{"subset", []int{1, 3}, 4, true},
+		{"empty", nil, 4, false},
+		{"negative", []int{-1, 0}, 4, false},
+		{"out of range", []int{0, 4}, 4, false},
+		{"duplicate", []int{1, 1}, 4, false},
+		{"unsorted", []int{2, 1}, 4, false},
+	}
+	for _, tc := range cases {
+		if err := ValidateShard(tc.indices, tc.total); (err == nil) != tc.ok {
+			t.Errorf("%s: ValidateShard(%v, %d) = %v, want ok=%v", tc.name, tc.indices, tc.total, err, tc.ok)
+		}
+	}
+}
+
+func TestMergeShardsStrict(t *testing.T) {
+	full := map[int]ConfigResult{0: {SwapSize: 2}, 1: {SwapSize: 4}, 2: {SwapSize: 8}}
+	if _, err := MergeShards(3, full); err != nil {
+		t.Fatalf("complete merge failed: %v", err)
+	}
+	if _, err := MergeShards(3, map[int]ConfigResult{0: {}, 2: {}}); err == nil {
+		t.Error("missing index 1 not detected")
+	}
+	if _, err := MergeShards(2, map[int]ConfigResult{0: {}, 5: {}}); err == nil {
+		t.Error("out-of-range index not detected")
+	}
+}
+
+func TestSweepDigestDerivedFromSpecs(t *testing.T) {
+	w := workload.MustTable2(1)
+	opts := Options{Seed: 42, SweepScale: 0.05}
+	base, err := SweepDigest(w, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 64 {
+		t.Fatalf("digest %q is not a hex sha256", base)
+	}
+
+	// Identical inputs → identical digest.
+	again, err := SweepDigest(w, opts, nil)
+	if err != nil || again != base {
+		t.Fatalf("sweep digest unstable: %s vs %s (%v)", base, again, err)
+	}
+
+	// Anything that changes a constituent run's digest changes the sweep
+	// digest; a shard of the sweep keys differently from the whole.
+	cases := []struct {
+		name string
+		w    *workload.Workload
+		opts Options
+		idx  []int
+	}{
+		{"seed", w, Options{Seed: 43, SweepScale: 0.05}, nil},
+		{"scale", w, Options{Seed: 42, SweepScale: 0.1}, nil},
+		{"workload", workload.MustTable2(2), opts, nil},
+		{"shard", w, opts, []int{0, 1}},
+		{"other shard", w, opts, []int{2, 3}},
+	}
+	seen := map[string]string{base: "base"}
+	for _, tc := range cases {
+		d, err := SweepDigest(tc.w, tc.opts, tc.idx)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s collides with %s: %s", tc.name, prev, d)
+		}
+		seen[d] = tc.name
+	}
+
+	// Workers is execution concurrency, not a result input: it must not
+	// split the key (mirrors Digest ignoring observers).
+	par := Options{Seed: 42, SweepScale: 0.05, Workers: 7}
+	if d, err := SweepDigest(w, par, nil); err != nil || d != base {
+		t.Errorf("Workers changed the sweep digest: %s vs %s (%v)", d, base, err)
+	}
+
+	if _, err := SweepDigest(w, opts, []int{99}); err == nil {
+		t.Error("out-of-range shard indices accepted")
+	}
+}

@@ -3,7 +3,6 @@ package harness
 import (
 	"context"
 
-	"dike/internal/core"
 	"dike/internal/sim"
 	"dike/internal/workload"
 )
@@ -31,20 +30,7 @@ func Sweep(ctx context.Context, w *workload.Workload, opts Options) ([]ConfigRes
 // quantaLength⟩ configuration and returns the 32 results in a stable
 // order (quanta-major, swap sizes ascending).
 func sweepConfigs(ctx context.Context, w *workload.Workload, opts Options) ([]ConfigResult, error) {
-	var specs []RunSpec
-	var meta []ConfigResult
-	for _, q := range core.QuantaLevels {
-		for _, ss := range core.SwapSizeLevels() {
-			cfg := core.DefaultConfig()
-			cfg.QuantaLength = q
-			cfg.SwapSize = ss
-			specs = append(specs, RunSpec{
-				Workload: w, Policy: PolicyDike, DikeConfig: &cfg,
-				Seed: opts.Seed, Scale: opts.SweepScale,
-			})
-			meta = append(meta, ConfigResult{SwapSize: ss, Quanta: q})
-		}
-	}
+	specs, meta := sweepGrid(w, opts)
 	outs, err := RunAll(ctx, specs, opts.Workers)
 	if err != nil {
 		return nil, err

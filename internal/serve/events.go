@@ -2,26 +2,8 @@ package serve
 
 import "sync"
 
-// Event is one line of a job's NDJSON progress stream. While a run is in
-// flight the serve layer publishes one event per scheduling quantum from
-// the harness progress hook; a final event carries the job's terminal
-// status instead.
-type Event struct {
-	// TMs is the simulated time of the decision, ms.
-	TMs int64 `json:"t_ms,omitempty"`
-	// Quantum counts decisions, starting at 1.
-	Quantum int `json:"quantum,omitempty"`
-	// Alive is the number of arrived, unfinished threads.
-	Alive int `json:"alive,omitempty"`
-	// Swaps is the cumulative migration-pair count.
-	Swaps int `json:"swaps,omitempty"`
-	// Util is the memory-controller utilisation.
-	Util float64 `json:"util,omitempty"`
-	// Status is set only on the terminal event: done|failed|canceled.
-	Status string `json:"status,omitempty"`
-	// Error carries the failure reason on a terminal failed event.
-	Error string `json:"error,omitempty"`
-}
+// The Event type lives in internal/serve/api (aliased in job.go): the
+// NDJSON stream is part of the wire format the coordinator shares.
 
 // subBuffer is each subscriber's channel capacity. A consumer that falls
 // further behind than this loses intermediate events (never the terminal
@@ -78,6 +60,14 @@ func (b *broker) close(final Event) {
 	}
 	b.subs = nil
 	b.closed = true
+}
+
+// subscriberCount reports the live subscribers; tests use it to prove a
+// disconnected client's subscription is actually released.
+func (b *broker) subscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
 }
 
 // subscribe returns the events published so far and, unless the stream

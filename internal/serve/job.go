@@ -12,128 +12,35 @@ import (
 
 	"dike/internal/fault"
 	"dike/internal/harness"
+	"dike/internal/serve/api"
 	"dike/internal/sim"
 	"dike/internal/workload"
 )
 
-// RunRequest is the body of POST /v1/runs: one simulation to execute.
-// Exactly one workload source is used, in precedence order Generator,
-// Apps, Workload.
-type RunRequest struct {
-	// Workload selects a Table II workload (1–16). Default 1.
-	Workload int `json:"workload,omitempty"`
-	// Apps builds a custom workload from named applications instead.
-	Apps []string `json:"apps,omitempty"`
-	// Generator synthesises a random Table II-style workload instead.
-	Generator *GeneratorRequest `json:"generator,omitempty"`
-	// Policy is the scheduling policy name (cfs, dio, dike, dike-af,
-	// dike-ap, null, rotate, oracle). Required.
-	Policy string `json:"policy"`
-	// Seed makes the run reproducible. Default 42.
-	Seed *uint64 `json:"seed,omitempty"`
-	// Scale multiplies benchmark work, in (0, 1]. Default 0.1 — service
-	// runs favour latency over paper-length simulations.
-	Scale float64 `json:"scale,omitempty"`
-	// MaxTimeMs overrides the simulation safety horizon.
-	MaxTimeMs int64 `json:"max_time_ms,omitempty"`
-	// Faults attaches the deterministic fault injector.
-	Faults *FaultRequest `json:"faults,omitempty"`
-	// DeadlineMs bounds the job's wall-clock execution; 0 uses the
-	// server default. A job past its deadline is failed, not retried.
-	DeadlineMs int64 `json:"deadline_ms,omitempty"`
-}
-
-// GeneratorRequest mirrors workload.GeneratorSpec over JSON.
-type GeneratorRequest struct {
-	Benchmarks    int  `json:"benchmarks,omitempty"`
-	ThreadsPer    int  `json:"threads_per,omitempty"`
-	MemoryApps    *int `json:"memory_apps,omitempty"` // nil draws uniformly
-	IncludeKmeans bool `json:"include_kmeans,omitempty"`
-	// Seed drives the draw; independent of the simulation seed so the
-	// same workload can be simulated under many seeds. Default 1.
-	Seed uint64 `json:"seed,omitempty"`
-}
-
-// FaultRequest mirrors fault.Config's CLI surface over JSON.
-type FaultRequest struct {
-	// Classes is 'all' or a comma list of fault class names.
-	Classes string `json:"classes"`
-	// Rate multiplies all base probabilities. Default 1.
-	Rate float64 `json:"rate,omitempty"`
-	// Seed fixes the fault schedule. Default 1.
-	Seed uint64 `json:"seed,omitempty"`
-}
-
-// SweepRequest is the body of POST /v1/sweeps: the 32-point
-// ⟨swapSize, quantaLength⟩ grid on one workload as a single fan-out job.
-type SweepRequest struct {
-	// Workload selects a Table II workload (1–16). Default 1.
-	Workload int `json:"workload,omitempty"`
-	// Seed is the shared simulation seed. Default 42.
-	Seed *uint64 `json:"seed,omitempty"`
-	// Scale is the per-run workload scale, in (0, 1]. Default 0.05 —
-	// a sweep is 32 simulations.
-	Scale float64 `json:"scale,omitempty"`
-	// DeadlineMs bounds the whole sweep's wall-clock execution.
-	DeadlineMs int64 `json:"deadline_ms,omitempty"`
-}
-
-// RunResult is the JSON result of a finished run job.
-type RunResult struct {
-	Workload   string  `json:"workload"`
-	Type       string  `json:"type"`
-	Policy     string  `json:"policy"`
-	Fairness   float64 `json:"fairness"`
-	MakespanMs float64 `json:"makespan_ms"`
-	AvgTimeMs  float64 `json:"avg_time_ms"`
-	Swaps      int     `json:"swaps"`
-	Migrations int     `json:"migrations"`
-	// CompletedAtMs is the simulated completion time.
-	CompletedAtMs int64 `json:"completed_at_ms"`
-	// PredErr* are Dike's prediction-error extremes (zero otherwise).
-	PredErrMin float64 `json:"pred_err_min,omitempty"`
-	PredErrAvg float64 `json:"pred_err_avg,omitempty"`
-	PredErrMax float64 `json:"pred_err_max,omitempty"`
-	// DecisionSHA256 is the SHA-256 of the run's deterministic decision
-	// digest (harness.Digest) — the same value `dikesim -digest` hashes
-	// to, so a served result can be audited against a local replay.
-	DecisionSHA256 string `json:"decision_sha256,omitempty"`
-	// Faults counts injected faults when the run had a fault plan.
-	Faults int `json:"faults,omitempty"`
-	// Benches holds per-application outcomes.
-	Benches []BenchResult `json:"benches"`
-}
-
-// BenchResult is one application's outcome inside a RunResult.
-type BenchResult struct {
-	Name   string  `json:"name"`
-	Extra  bool    `json:"extra,omitempty"`
-	TimeMs float64 `json:"time_ms"`
-	CV     float64 `json:"cv"`
-}
-
-// SweepResult is the JSON result of a finished sweep job.
-type SweepResult struct {
-	Workload string       `json:"workload"`
-	Grid     []SweepPoint `json:"grid"`
-}
-
-// SweepPoint is one scheduler configuration's outcome.
-type SweepPoint struct {
-	SwapSize    int     `json:"swap_size"`
-	QuantaMs    int64   `json:"quanta_ms"`
-	Fairness    float64 `json:"fairness"`
-	InvMakespan float64 `json:"inv_makespan"`
-	Swaps       int     `json:"swaps"`
-}
+// The wire format lives in internal/serve/api so the cluster
+// coordinator and a single-node worker share one definition of every
+// body that crosses the network; these aliases keep the serve package's
+// own surface unchanged.
+type (
+	RunRequest       = api.RunRequest
+	GeneratorRequest = api.GeneratorRequest
+	FaultRequest     = api.FaultRequest
+	SweepRequest     = api.SweepRequest
+	RunResult        = api.RunResult
+	BenchResult      = api.BenchResult
+	SweepResult      = api.SweepResult
+	SweepPoint       = api.SweepPoint
+	JobView          = api.JobView
+	Event            = api.Event
+)
 
 // Job statuses, in lifecycle order.
 const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusFailed   = "failed"
-	StatusCanceled = "canceled"
+	StatusQueued   = api.StatusQueued
+	StatusRunning  = api.StatusRunning
+	StatusDone     = api.StatusDone
+	StatusFailed   = api.StatusFailed
+	StatusCanceled = api.StatusCanceled
 )
 
 // Job is one unit of work in the server: a run or a sweep, from
@@ -161,23 +68,6 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
-}
-
-// JobView is the API representation of a job's current state.
-type JobView struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Status string `json:"status"`
-	Digest string `json:"digest"`
-	// Cached reports that the result was served from the digest cache
-	// without running a simulation.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-	// QueueMs/RunMs are wall-clock milliseconds spent waiting/executing.
-	QueueMs int64 `json:"queue_ms,omitempty"`
-	RunMs   int64 `json:"run_ms,omitempty"`
-	// Result is the kind-specific result object, present when done.
-	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // view snapshots the job for the API.
@@ -210,13 +100,14 @@ func (j *Job) Status() string {
 }
 
 // terminal reports whether the job has reached a final state.
-func terminal(status string) bool {
-	return status == StatusDone || status == StatusFailed || status == StatusCanceled
-}
+func terminal(status string) bool { return api.Terminal(status) }
 
-// buildRunSpec translates an API run request into a validated harness
+// BuildRunSpec translates an API run request into a validated harness
 // spec plus its digest. The OnProgress hook is attached later, per job.
-func buildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
+// The cluster coordinator calls it too: routing a run by digest requires
+// resolving the request exactly the way the worker that executes it
+// will.
+func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	var w *workload.Workload
 	var err error
 	switch {
@@ -331,17 +222,4 @@ func runResult(out *harness.RunOutput) RunResult {
 		})
 	}
 	return res
-}
-
-// sweepDigest content-addresses a sweep request the same way
-// RunSpec.Digest addresses a run: over every result-determining field.
-func sweepDigest(wl int, seed uint64, scale float64) string {
-	blob, _ := json.Marshal(struct {
-		Kind     string
-		Workload int
-		Seed     uint64
-		Scale    float64
-	}{"sweep", wl, seed, scale})
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:])
 }

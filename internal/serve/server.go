@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dike/internal/harness"
+	"dike/internal/serve/api"
 	"dike/internal/workload"
 )
 
@@ -42,6 +43,14 @@ type Config struct {
 	// simulations inside one worker slot). Default 1, so a sweep never
 	// occupies more than its slot's share of the machine.
 	SweepWorkers int
+
+	// Simulate, Sweep and SweepShard override the harness entry points;
+	// nil uses the real harness. They are seams for tests (cluster tests
+	// boot workers with deterministic stubs and controllable delays) and
+	// are not reachable from any flag.
+	Simulate   func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error)
+	Sweep      func(ctx context.Context, w *workload.Workload, opts harness.Options) ([]harness.ConfigResult, error)
+	SweepShard func(ctx context.Context, w *workload.Workload, opts harness.Options, indices []int) ([]harness.ConfigResult, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,10 +95,12 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	// simulate/sweep are the harness entry points; tests substitute
-	// stubs to exercise queueing and backpressure deterministically.
+	// simulate/sweep/shard are the harness entry points; tests and the
+	// Config seams substitute stubs to exercise queueing, backpressure
+	// and cluster re-routing deterministically.
 	simulate func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error)
 	sweep    func(ctx context.Context, w *workload.Workload, opts harness.Options) ([]harness.ConfigResult, error)
+	shard    func(ctx context.Context, w *workload.Workload, opts harness.Options, indices []int) ([]harness.ConfigResult, error)
 }
 
 // New builds a Server. Call Start before serving traffic.
@@ -107,6 +118,16 @@ func New(cfg Config) *Server {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		simulate:   harness.Run,
 		sweep:      harness.Sweep,
+		shard:      harness.SweepShard,
+	}
+	if cfg.Simulate != nil {
+		s.simulate = cfg.Simulate
+	}
+	if cfg.Sweep != nil {
+		s.sweep = cfg.Sweep
+	}
+	if cfg.SweepShard != nil {
+		s.shard = cfg.SweepShard
 	}
 	s.metrics.gauges = func() (int, int, int) {
 		return len(s.queue), cfg.QueueDepth, cfg.Workers
@@ -191,39 +212,14 @@ func (s *Server) CacheStats() (hits, misses, dedup, simulations uint64) {
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		cw := api.NewCodeWriter(w)
 		h(cw, r)
-		s.metrics.httpDone(pattern, cw.code, time.Since(start).Seconds())
+		s.metrics.httpDone(pattern, cw.Code, time.Since(start).Seconds())
 	})
 }
 
-// codeWriter captures the response status for metrics.
-type codeWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *codeWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Unwrap lets http.ResponseController reach Flusher for the NDJSON
-// event stream through the instrumentation wrapper.
-func (w *codeWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
-
 // submitResponse is the body of a successful submission.
-type submitResponse struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Digest string `json:"digest"`
-	// Cached: the result was already in the digest cache; the job is
-	// immediately done, no simulation ran.
-	Cached bool `json:"cached,omitempty"`
-	// Deduped: an identical job was already queued or running; this is
-	// its id, and one simulation will serve both submitters.
-	Deduped bool `json:"deduped,omitempty"`
-}
+type submitResponse = api.SubmitResponse
 
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
@@ -231,7 +227,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	spec, digest, err := buildRunSpec(req)
+	spec, digest, err := BuildRunSpec(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -264,36 +260,25 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	wlNum := req.Workload
-	if wlNum == 0 {
-		wlNum = 1
-	}
-	wl, err := workload.Table2(wlNum)
+	rs, err := ResolveSweep(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	seed := uint64(42)
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-	scale := req.Scale
-	if scale == 0 {
-		scale = 0.05
-	}
-	if scale < 0 || scale > 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: scale %g outside (0, 1]", req.Scale))
-		return
-	}
-	job := &Job{kind: "sweep", digest: sweepDigest(wlNum, seed, scale), deadline: s.deadline(req.DeadlineMs)}
+	job := &Job{kind: "sweep", digest: rs.Digest, deadline: s.deadline(req.DeadlineMs)}
 	job.exec = func(ctx context.Context) (json.RawMessage, error) {
-		grid, err := s.sweep(ctx, wl, harness.Options{
-			Seed: seed, SweepScale: scale, Workers: s.cfg.SweepWorkers,
-		})
+		opts := rs.Options(s.cfg.SweepWorkers)
+		var grid []harness.ConfigResult
+		var err error
+		if rs.Indices == nil {
+			grid, err = s.sweep(ctx, rs.Workload, opts)
+		} else {
+			grid, err = s.shard(ctx, rs.Workload, opts, rs.Indices)
+		}
 		if err != nil {
 			return nil, err
 		}
-		res := SweepResult{Workload: wl.Name}
+		res := SweepResult{Workload: rs.Workload.Name, Shard: rs.Indices}
 		for _, g := range grid {
 			res.Grid = append(res.Grid, SweepPoint{
 				SwapSize: g.SwapSize, QuantaMs: g.Quanta.Millis(),
@@ -525,30 +510,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.writeTo(w)
 }
 
-// decodeJSON strictly decodes a request body into v.
+// decodeJSON, writeError and writeJSON delegate to the shared wire
+// helpers so worker and coordinator speak identical bodies.
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("serve: bad request body: %w", err)
+	if err := api.DecodeJSON(r, v); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	return nil
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
-}
+func writeError(w http.ResponseWriter, code int, err error) { api.WriteError(w, code, err) }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error(), Code: code})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	enc.Encode(v)
-}
+func writeJSON(w http.ResponseWriter, code int, v any) { api.WriteJSON(w, code, v) }

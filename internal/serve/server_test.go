@@ -477,11 +477,11 @@ func TestServeMetricsExposition(t *testing.T) {
 // TestServeWorkloadReuse guards the digest against workload aliasing:
 // two custom workloads over different app lists must never collide.
 func TestServeWorkloadDigestsDiffer(t *testing.T) {
-	specA, digA, err := buildRunSpec(RunRequest{Apps: []string{"jacobi", "srad"}, Policy: "cfs"})
+	specA, digA, err := BuildRunSpec(RunRequest{Apps: []string{"jacobi", "srad"}, Policy: "cfs"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, digB, err := buildRunSpec(RunRequest{Apps: []string{"jacobi", "hotspot"}, Policy: "cfs"})
+	_, digB, err := BuildRunSpec(RunRequest{Apps: []string{"jacobi", "hotspot"}, Policy: "cfs"})
 	if err != nil {
 		t.Fatal(err)
 	}
