@@ -16,6 +16,8 @@
 //	GET    /v1/runs/{id}        poll job status + result
 //	DELETE /v1/runs/{id}        cancel a job
 //	GET    /v1/runs/{id}/events NDJSON terminal-event stream
+//	GET    /v1/runs?digest=…    content-addressed lookup across the fleet
+//	GET    /v1/store/stats      per-worker durable-store counters
 //	GET    /v1/cluster/workers  fleet health + per-worker traffic
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition

@@ -64,6 +64,7 @@ func main() {
 		poll:    *pollFlag,
 		timeout: *waitFlag,
 		codes:   make(map[int]int),
+		lat:     newReservoir(reservoirSize, int64(*seedFlag)),
 	}
 
 	start := time.Now()
@@ -100,7 +101,7 @@ type loadgen struct {
 
 	mu        sync.Mutex
 	codes     map[int]int // HTTP status → count (submissions only)
-	latencies []time.Duration
+	lat       *reservoir
 	transport int
 	cached    int
 	deduped   int
@@ -125,7 +126,6 @@ type jobView struct {
 // run is one closed-loop client: claim an index, submit, (optionally)
 // poll to completion, repeat until the shared budget is spent.
 func (lg *loadgen) run(client int) {
-	rng := rand.New(rand.NewSource(int64(lg.seed) + int64(client)))
 	for {
 		i := atomic.AddInt64(&lg.next, 1) - 1
 		if i >= int64(lg.n) {
@@ -135,7 +135,7 @@ func (lg *loadgen) run(client int) {
 		if lg.space > 0 {
 			seed = lg.seed + uint64(i)%uint64(lg.space)
 		}
-		path, body := lg.request(rng, seed)
+		path, body := lg.request(i, seed)
 
 		t0 := time.Now()
 		resp, err := lg.client.Post(lg.base+path, "application/json", bytes.NewReader(body))
@@ -153,7 +153,7 @@ func (lg *loadgen) run(client int) {
 		json.Unmarshal(raw, &sub)
 		lg.mu.Lock()
 		lg.codes[resp.StatusCode]++
-		lg.latencies = append(lg.latencies, lat)
+		lg.lat.observe(lat)
 		if sub.Cached {
 			lg.cached++
 		}
@@ -175,9 +175,13 @@ func (lg *loadgen) run(client int) {
 	}
 }
 
-// request picks run vs sweep by weight and builds the POST body.
-func (lg *loadgen) request(rng *rand.Rand, seed uint64) (string, []byte) {
-	if lg.sweepW > 0 && rng.Intn(lg.runW+lg.sweepW) < lg.sweepW {
+// request picks run vs sweep by weight and builds the POST body. The
+// choice hangs off the claimed request index, not a per-client RNG, so
+// two identical dikeload invocations submit the identical spec mix
+// regardless of how clients interleave — which is what lets a smoke
+// test rerun a pass against a warm store and demand zero simulations.
+func (lg *loadgen) request(i int64, seed uint64) (string, []byte) {
+	if lg.sweepW > 0 && int(i%int64(lg.runW+lg.sweepW)) < lg.sweepW {
 		body, _ := json.Marshal(map[string]any{
 			"workload": 1, "seed": seed, "scale": lg.scale,
 		})
@@ -243,8 +247,8 @@ func (lg *loadgen) report(w io.Writer, elapsed time.Duration, clients int) {
 	defer lg.mu.Unlock()
 
 	fmt.Fprintf(w, "dikeload: %d requests, %d clients, %v elapsed (%.1f req/s)\n",
-		len(lg.latencies)+lg.transport, clients, elapsed.Round(time.Millisecond),
-		float64(len(lg.latencies))/elapsed.Seconds())
+		lg.lat.count+lg.transport, clients, elapsed.Round(time.Millisecond),
+		float64(lg.lat.count)/elapsed.Seconds())
 
 	codes := make([]int, 0, len(lg.codes))
 	for c := range lg.codes {
@@ -264,15 +268,62 @@ func (lg *loadgen) report(w io.Writer, elapsed time.Duration, clients int) {
 		fmt.Fprintf(w, "  jobs:   completed=%d failed=%d\n", lg.completed, lg.jobFailed)
 	}
 
-	if len(lg.latencies) > 0 {
-		sort.Slice(lg.latencies, func(i, j int) bool { return lg.latencies[i] < lg.latencies[j] })
-		pct := func(p float64) time.Duration {
-			idx := int(p * float64(len(lg.latencies)-1))
-			return lg.latencies[idx].Round(time.Microsecond)
-		}
+	if lg.lat.count > 0 {
 		fmt.Fprintf(w, "  submit latency: p50=%v p90=%v p99=%v max=%v\n",
-			pct(0.50), pct(0.90), pct(0.99), lg.latencies[len(lg.latencies)-1].Round(time.Microsecond))
+			lg.lat.percentile(0.50).Round(time.Microsecond),
+			lg.lat.percentile(0.90).Round(time.Microsecond),
+			lg.lat.percentile(0.99).Round(time.Microsecond),
+			lg.lat.max.Round(time.Microsecond))
 	}
+}
+
+// reservoirSize bounds the latency sample: runs up to this size keep
+// every observation (percentiles are then exact); larger runs keep a
+// uniform reservoir sample, so memory stays flat at any -n.
+const reservoirSize = 4096
+
+// reservoir is a classic uniform reservoir sampler over request
+// latencies, plus exact count and max. Not goroutine-safe — callers
+// hold the loadgen mutex.
+type reservoir struct {
+	size   int
+	rng    *rand.Rand
+	sample []time.Duration
+	count  int
+	max    time.Duration
+}
+
+func newReservoir(size int, seed int64) *reservoir {
+	return &reservoir{size: size, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *reservoir) observe(d time.Duration) {
+	r.count++
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.sample) < r.size {
+		r.sample = append(r.sample, d)
+		return
+	}
+	if i := r.rng.Intn(r.count); i < r.size {
+		r.sample[i] = d
+	}
+}
+
+// percentile returns the p-quantile (p in [0, 1]) of the sample. The
+// sample is in arrival order — it is only fully collected when the run
+// is smaller than the reservoir — so it must be sorted before indexing:
+// indexing the raw slice reports arrival order, not rank, and small
+// smoke runs would print a meaningless p50/p99.
+func (r *reservoir) percentile(p float64) time.Duration {
+	if len(r.sample) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
 }
 
 // parseMix parses "runWeight,sweepWeight".

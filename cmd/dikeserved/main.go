@@ -7,6 +7,7 @@
 //	dikeserved                            # serve on :8080
 //	dikeserved -addr :9000 -workers 8     # bigger pool, other port
 //	dikeserved -queue 128 -cache 512      # deeper queue, bigger cache
+//	dikeserved -store-dir /var/lib/dike   # durable run store (restart-warm)
 //
 // Endpoints:
 //
@@ -15,8 +16,17 @@
 //	DELETE /v1/runs/{id}        cancel a queued or running job
 //	GET    /v1/runs/{id}/events NDJSON per-quantum progress stream
 //	POST   /v1/sweeps           submit a 32-point configuration sweep
+//	GET    /v1/runs?digest=…    content-addressed result lookup (no compute)
+//	GET    /v1/store/stats      durable run store counters
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition
+//
+// With -store-dir set, every finished result is appended to a durable,
+// content-addressed segment log under that directory. A restarted
+// daemon recovers the log (truncating a torn tail if the previous
+// process died mid-append), serves known digests from disk without
+// re-simulating, and resumes interrupted sweeps from their last
+// checkpointed grid point.
 //
 // On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
 // and in-flight jobs run to completion (bounded by -drain-timeout, after
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"dike/internal/serve"
+	"dike/internal/store"
 )
 
 func main() {
@@ -46,16 +57,38 @@ func main() {
 		deadlineFlag = flag.Duration("deadline", 2*time.Minute, "default per-job execution deadline")
 		sweepFlag    = flag.Int("sweep-workers", 1, "intra-sweep simulation concurrency")
 		drainFlag    = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs on shutdown")
+		storeDirFlag = flag.String("store-dir", "", "durable run store directory (empty disables persistence)")
+		storeSegFlag = flag.Int("store-segment-mb", 8, "store segment rotation size, MiB")
+		storeSync    = flag.Bool("store-sync", false, "fsync every store append (power-loss safety at a latency cost)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:         *workersFlag,
 		QueueDepth:      *queueFlag,
 		CacheSize:       *cacheFlag,
 		DefaultDeadline: *deadlineFlag,
 		SweepWorkers:    *sweepFlag,
-	})
+	}
+	if *storeDirFlag != "" {
+		st, err := store.Open(*storeDirFlag, store.Options{
+			SegmentBytes: int64(*storeSegFlag) << 20,
+			Sync:         *storeSync,
+		})
+		if err != nil {
+			log.Fatalf("open store %s: %v", *storeDirFlag, err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		log.Printf("store %s: %d results, %d checkpoints in %d segments (%d bytes)",
+			*storeDirFlag, stats.Results, stats.Checkpoints, stats.Segments, stats.SizeBytes)
+		if stats.TruncatedRecords > 0 || stats.CorruptRecords > 0 {
+			log.Printf("store recovery: truncated %d torn record(s) (%d bytes), skipped %d corrupt record(s) (%d bytes)",
+				stats.TruncatedRecords, stats.TruncatedBytes, stats.CorruptRecords, stats.CorruptBytes)
+		}
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
 	srv.Start()
 
 	httpSrv := &http.Server{

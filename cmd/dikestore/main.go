@@ -1,0 +1,118 @@
+// Command dikestore inspects and maintains a durable run store offline
+// — the segment-log directory a dikeserved -store-dir daemon writes.
+//
+// Usage:
+//
+//	dikestore -dir DIR stats             # counter snapshot (JSON)
+//	dikestore -dir DIR ls                # list live records
+//	dikestore -dir DIR get DIGEST        # print one stored result
+//	dikestore -dir DIR verify            # read-only damage scan
+//	dikestore -dir DIR compact           # rewrite live records, drop the rest
+//
+// verify never writes a byte, so it is safe against a store owned by a
+// running daemon; stats, ls, get and compact open the store the way the
+// daemon does (recovering a torn tail) and must not race a live writer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dike/internal/store"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory (required)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dikestore -dir DIR {stats|ls|get DIGEST|verify|compact}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "stats":
+		err = withStore(*dir, func(s *store.Store) error {
+			return printJSON(s.Stats())
+		})
+	case "ls":
+		err = withStore(*dir, func(s *store.Store) error {
+			tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+			fmt.Fprintln(tw, "KIND\tSEGMENT\tBYTES\tKEY")
+			for _, rec := range s.Records() {
+				fmt.Fprintf(tw, "%s\t%08d\t%d\t%s\n", rec.Kind, rec.Segment, rec.Bytes, rec.Key)
+			}
+			return tw.Flush()
+		})
+	case "get":
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("get needs exactly one DIGEST argument")
+			break
+		}
+		err = withStore(*dir, func(s *store.Store) error {
+			meta, result, ok := s.GetRecord(flag.Arg(1))
+			if !ok {
+				return fmt.Errorf("no result for digest %s", flag.Arg(1))
+			}
+			out := struct {
+				Digest string          `json:"digest"`
+				Meta   json.RawMessage `json:"meta,omitempty"`
+				Result json.RawMessage `json:"result"`
+			}{Digest: flag.Arg(1), Meta: meta, Result: result}
+			return printJSON(out)
+		})
+	case "verify":
+		var rep store.VerifyReport
+		rep, err = store.Verify(*dir)
+		if err == nil {
+			err = printJSON(rep)
+			if err == nil && !rep.Clean() {
+				// Damage is a distinct exit code so scripts can react
+				// without parsing the report.
+				os.Exit(1)
+			}
+		}
+	case "compact":
+		err = withStore(*dir, func(s *store.Store) error {
+			before := s.Stats()
+			if err := s.Compact(); err != nil {
+				return err
+			}
+			after := s.Stats()
+			fmt.Printf("compacted: %d → %d bytes in %d → %d segments (%d live records)\n",
+				before.SizeBytes, after.SizeBytes, before.Segments, after.Segments,
+				after.Results+after.Checkpoints)
+			return nil
+		})
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dikestore:", err)
+		os.Exit(2)
+	}
+}
+
+// withStore opens the store, runs fn, and always closes it.
+func withStore(dir string, fn func(*store.Store) error) error {
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return fn(s)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -152,7 +152,9 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/runs", c.handleSubmitRun)
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleSubmitSweep)
+	c.mux.HandleFunc("GET /v1/runs", c.handleLookupRun)
 	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleGetJob)
+	c.mux.HandleFunc("GET /v1/store/stats", c.handleStoreStats)
 	c.mux.HandleFunc("DELETE /v1/runs/{id}", c.handleCancelJob)
 	c.mux.HandleFunc("GET /v1/runs/{id}/events", c.handleEvents)
 	c.mux.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)

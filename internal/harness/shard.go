@@ -84,9 +84,7 @@ func SweepShard(ctx context.Context, w *workload.Workload, optsIn Options, indic
 		return nil, err
 	}
 	for i, out := range outs {
-		res[i].Fairness = out.Result.Fairness
-		res[i].Perf = 1 / out.Result.Makespan
-		res[i].Swaps = out.Result.Swaps
+		res[i].Fill(out)
 	}
 	return res, nil
 }

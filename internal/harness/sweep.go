@@ -19,6 +19,18 @@ type ConfigResult struct {
 	Swaps    int
 }
 
+// Fill copies a finished run's sweep-relevant outcome into the grid
+// skeleton: Fairness is Eqn 4 verbatim, Perf the inverse makespan.
+// Single-node sweeps and shards share this one definition of how a
+// RunOutput becomes a grid point; the serve layer's durable per-point
+// executor mirrors it through the JSON round-trip (exact for float64),
+// which is what keeps resumed sweeps byte-identical.
+func (c *ConfigResult) Fill(out *RunOutput) {
+	c.Fairness = out.Result.Fairness
+	c.Perf = 1 / out.Result.Makespan
+	c.Swaps = out.Result.Swaps
+}
+
 // Sweep runs the 32-configuration sweep on w with defaulted options; it
 // is sweepConfigs' exported form for the dikesweep command and the
 // public facade.
@@ -36,9 +48,7 @@ func sweepConfigs(ctx context.Context, w *workload.Workload, opts Options) ([]Co
 		return nil, err
 	}
 	for i, out := range outs {
-		meta[i].Fairness = out.Result.Fairness
-		meta[i].Perf = 1 / out.Result.Makespan
-		meta[i].Swaps = out.Result.Swaps
+		meta[i].Fill(out)
 	}
 	return meta, nil
 }

@@ -157,6 +157,10 @@ type SubmitResponse struct {
 	// Deduped: an identical job was already queued or running; this is
 	// its id, and one simulation will serve both submitters.
 	Deduped bool `json:"deduped,omitempty"`
+	// Stored: the result came out of the durable run store (it was
+	// computed by an earlier process against the same store directory);
+	// implies Cached.
+	Stored bool `json:"stored,omitempty"`
 }
 
 // JobView is the API representation of a job's current state.
@@ -166,8 +170,10 @@ type JobView struct {
 	Status string `json:"status"`
 	Digest string `json:"digest"`
 	// Cached reports that the result was served from the digest cache
-	// without running a simulation.
+	// without running a simulation; Stored narrows it to the durable
+	// run store (a previous process computed it).
 	Cached bool   `json:"cached,omitempty"`
+	Stored bool   `json:"stored,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// QueueMs/RunMs are wall-clock milliseconds spent waiting/executing.
 	QueueMs int64 `json:"queue_ms,omitempty"`
@@ -201,6 +207,25 @@ type Event struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  int    `json:"code"`
+}
+
+// StoredResult is the body of GET /v1/runs?digest=… — a
+// content-addressed result lookup that never triggers a simulation.
+type StoredResult struct {
+	Digest string `json:"digest"`
+	// Source is where the result was found: "cache" (in-memory LRU) or
+	// "store" (durable run store).
+	Source string          `json:"source"`
+	Result json.RawMessage `json:"result"`
+}
+
+// StoreStatsView is the body of GET /v1/store/stats. Stats is the
+// store's own counter snapshot (store.Stats), kept opaque here so the
+// wire package stays free of storage dependencies.
+type StoreStatsView struct {
+	Enabled bool            `json:"enabled"`
+	Dir     string          `json:"dir,omitempty"`
+	Stats   json.RawMessage `json:"stats,omitempty"`
 }
 
 // WorkerView is one worker's entry in GET /v1/cluster/workers.

@@ -51,6 +51,9 @@ type Job struct {
 	digest string
 	// exec performs the work when a worker picks the job up.
 	exec func(ctx context.Context) (json.RawMessage, error)
+	// meta is the original request body, persisted alongside the result
+	// in the durable store so offline tools can see what a digest means.
+	meta json.RawMessage
 	// deadline bounds wall-clock execution.
 	deadline time.Duration
 	// ctx/cancel cover the job's whole life, so DELETE cancels it
@@ -64,6 +67,7 @@ type Job struct {
 	errMsg    string
 	result    json.RawMessage
 	cached    bool
+	stored    bool
 	done      chan struct{}
 	submitted time.Time
 	started   time.Time
@@ -80,6 +84,7 @@ func (j *Job) view() JobView {
 		Status: j.status,
 		Digest: j.digest,
 		Cached: j.cached,
+		Stored: j.stored,
 		Error:  j.errMsg,
 		Result: j.result,
 	}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"dike/internal/store"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-endpoint
@@ -54,6 +56,14 @@ type metrics struct {
 	dedup       uint64
 	rejected    uint64
 	inflight    int
+	// storeErrors counts durable-store writes that failed (the job still
+	// completes; only durability degrades).
+	storeErrors uint64
+	// checkpointResumes / checkpointResumedPoints count sweeps resumed
+	// from a durable checkpoint and the grid points those checkpoints
+	// carried (i.e. simulations avoided by resuming).
+	checkpointResumes       uint64
+	checkpointResumedPoints uint64
 	// httpTotal counts requests by route and status code.
 	httpTotal map[[2]string]uint64
 	// latency histograms the request duration per route.
@@ -62,6 +72,9 @@ type metrics struct {
 	// queueDepth/queueCap/workers are sampled from the server at scrape
 	// time via this callback.
 	gauges func() (depth, capacity, workers int)
+	// storeStats snapshots the durable store's own counters at scrape
+	// time; nil when the server runs without a store.
+	storeStats func() store.Stats
 }
 
 func newMetrics() *metrics {
@@ -88,6 +101,15 @@ func (m *metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *metrics) cacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *metrics) deduped()   { m.mu.Lock(); m.dedup++; m.mu.Unlock() }
 func (m *metrics) reject()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+
+func (m *metrics) storeError() { m.mu.Lock(); m.storeErrors++; m.mu.Unlock() }
+
+func (m *metrics) checkpointResume(points int) {
+	m.mu.Lock()
+	m.checkpointResumes++
+	m.checkpointResumedPoints += uint64(points)
+	m.mu.Unlock()
+}
 
 func (m *metrics) workerBusy(delta int) {
 	m.mu.Lock()
@@ -126,9 +148,13 @@ func (m *metrics) writeTo(w io.Writer) error {
 	if m.gauges != nil {
 		depth, capacity, workers = m.gauges()
 	}
+	// A singleflight-coalesced duplicate is a hit for dashboard purposes:
+	// the submitter got a result without a new simulation, exactly like a
+	// cache hit, so excluding dedups would understate cache effectiveness
+	// under concurrent identical load.
 	hitRatio := 0.0
-	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
-		hitRatio = float64(m.cacheHits) / float64(lookups)
+	if lookups := m.cacheHits + m.dedup + m.cacheMisses; lookups > 0 {
+		hitRatio = float64(m.cacheHits+m.dedup) / float64(lookups)
 	}
 
 	var b []byte
@@ -147,9 +173,29 @@ func (m *metrics) writeTo(w io.Writer) error {
 	app("# HELP dike_serve_simulations_total Simulations actually executed (cache hits serve jobs without one).\n# TYPE dike_serve_simulations_total counter\ndike_serve_simulations_total %d\n", m.simulations)
 	app("# HELP dike_serve_cache_hits_total Submissions served from the result cache.\n# TYPE dike_serve_cache_hits_total counter\ndike_serve_cache_hits_total %d\n", m.cacheHits)
 	app("# HELP dike_serve_cache_misses_total Submissions that missed the result cache.\n# TYPE dike_serve_cache_misses_total counter\ndike_serve_cache_misses_total %d\n", m.cacheMisses)
-	app("# HELP dike_serve_cache_hit_ratio Hits over lookups since start.\n# TYPE dike_serve_cache_hit_ratio gauge\ndike_serve_cache_hit_ratio %s\n", formatFloat(hitRatio))
+	app("# HELP dike_serve_cache_hit_ratio Hits (including coalesced duplicates) over lookups since start.\n# TYPE dike_serve_cache_hit_ratio gauge\ndike_serve_cache_hit_ratio %s\n", formatFloat(hitRatio))
 	app("# HELP dike_serve_dedup_total Submissions coalesced onto an identical in-flight job.\n# TYPE dike_serve_dedup_total counter\ndike_serve_dedup_total %d\n", m.dedup)
 	app("# HELP dike_serve_rejected_total Submissions rejected with 429 because the queue was full.\n# TYPE dike_serve_rejected_total counter\ndike_serve_rejected_total %d\n", m.rejected)
+
+	if m.storeStats != nil {
+		st := m.storeStats()
+		app("# HELP dike_store_hits_total Lookups served from the durable run store.\n# TYPE dike_store_hits_total counter\ndike_store_hits_total %d\n", st.Hits)
+		app("# HELP dike_store_misses_total Lookups that missed the durable run store.\n# TYPE dike_store_misses_total counter\ndike_store_misses_total %d\n", st.Misses)
+		app("# HELP dike_store_appends_total Records appended to the segment log.\n# TYPE dike_store_appends_total counter\ndike_store_appends_total %d\n", st.Appends)
+		app("# HELP dike_store_appended_bytes_total Bytes appended to the segment log.\n# TYPE dike_store_appended_bytes_total counter\ndike_store_appended_bytes_total %d\n", st.AppendedBytes)
+		app("# HELP dike_store_size_bytes Total on-disk size of all segments.\n# TYPE dike_store_size_bytes gauge\ndike_store_size_bytes %d\n", st.SizeBytes)
+		app("# HELP dike_store_segments Segment files in the store directory.\n# TYPE dike_store_segments gauge\ndike_store_segments %d\n", st.Segments)
+		app("# HELP dike_store_results Live result records in the index.\n# TYPE dike_store_results gauge\ndike_store_results %d\n", st.Results)
+		app("# HELP dike_store_checkpoints Live sweep checkpoint records in the index.\n# TYPE dike_store_checkpoints gauge\ndike_store_checkpoints %d\n", st.Checkpoints)
+		app("# HELP dike_store_recovered_records_total Records replayed from disk at open.\n# TYPE dike_store_recovered_records_total counter\ndike_store_recovered_records_total %d\n", st.RecoveredRecords)
+		app("# HELP dike_store_truncated_records_total Torn tail records truncated during recovery.\n# TYPE dike_store_truncated_records_total counter\ndike_store_truncated_records_total %d\n", st.TruncatedRecords)
+		app("# HELP dike_store_corrupt_records_total Corrupt records skipped during recovery.\n# TYPE dike_store_corrupt_records_total counter\ndike_store_corrupt_records_total %d\n", st.CorruptRecords)
+		app("# HELP dike_store_compactions_total Compaction passes completed.\n# TYPE dike_store_compactions_total counter\ndike_store_compactions_total %d\n", st.Compactions)
+		app("# HELP dike_store_reclaimed_bytes_total Bytes reclaimed by compaction.\n# TYPE dike_store_reclaimed_bytes_total counter\ndike_store_reclaimed_bytes_total %d\n", st.ReclaimedBytes)
+		app("# HELP dike_store_errors_total Durable-store writes that failed (job still served).\n# TYPE dike_store_errors_total counter\ndike_store_errors_total %d\n", m.storeErrors)
+		app("# HELP dike_store_checkpoint_resumes_total Sweeps resumed from a durable checkpoint.\n# TYPE dike_store_checkpoint_resumes_total counter\ndike_store_checkpoint_resumes_total %d\n", m.checkpointResumes)
+		app("# HELP dike_store_checkpoint_resumed_points_total Grid points restored from checkpoints instead of re-simulated.\n# TYPE dike_store_checkpoint_resumed_points_total counter\ndike_store_checkpoint_resumed_points_total %d\n", m.checkpointResumedPoints)
+	}
 
 	app("# HELP dike_serve_http_requests_total HTTP requests, by route and status code.\n# TYPE dike_serve_http_requests_total counter\n")
 	keys := make([][2]string, 0, len(m.httpTotal))

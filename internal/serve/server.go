@@ -24,6 +24,7 @@ import (
 
 	"dike/internal/harness"
 	"dike/internal/serve/api"
+	"dike/internal/store"
 	"dike/internal/workload"
 )
 
@@ -43,6 +44,12 @@ type Config struct {
 	// simulations inside one worker slot). Default 1, so a sweep never
 	// occupies more than its slot's share of the machine.
 	SweepWorkers int
+	// Store, when non-nil, is the durable run store: a write-through
+	// tier below the LRU (cache miss → store hit → repopulate LRU) that
+	// survives restarts, plus sweep checkpointing so an interrupted
+	// sweep resumes from its last completed grid index. The caller owns
+	// the store's lifecycle (open before New, close after Drain).
+	Store *store.Store
 
 	// Simulate, Sweep and SweepShard override the harness entry points;
 	// nil uses the real harness. They are seams for tests (cluster tests
@@ -79,6 +86,7 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	cache   *resultCache
+	store   *store.Store // nil: in-memory only
 
 	// baseCtx parents every job context; closing it hard-cancels
 	// everything still running (used only after a drain deadline).
@@ -111,6 +119,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		metrics:    newMetrics(),
 		cache:      newResultCache(cfg.CacheSize),
+		store:      cfg.Store,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -132,9 +141,14 @@ func New(cfg Config) *Server {
 	s.metrics.gauges = func() (int, int, int) {
 		return len(s.queue), cfg.QueueDepth, cfg.Workers
 	}
+	if s.store != nil {
+		s.metrics.storeStats = s.store.Stats
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/runs", s.handleSubmitRun)
 	s.route("POST /v1/sweeps", s.handleSubmitSweep)
+	s.route("GET /v1/runs", s.handleLookupRun)
+	s.route("GET /v1/store/stats", s.handleStoreStats)
 	s.route("GET /v1/runs/{id}", s.handleGetJob)
 	s.route("DELETE /v1/runs/{id}", s.handleCancelJob)
 	s.route("GET /v1/runs/{id}/events", s.handleEvents)
@@ -233,6 +247,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := &Job{kind: "run", digest: digest, deadline: s.deadline(req.DeadlineMs)}
+	job.meta, _ = json.Marshal(req) // resolved request, stored beside the result
 	job.exec = func(ctx context.Context) (json.RawMessage, error) {
 		runSpec := spec
 		runSpec.OnProgress = func(p harness.Progress) {
@@ -266,26 +281,35 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := &Job{kind: "sweep", digest: rs.Digest, deadline: s.deadline(req.DeadlineMs)}
-	job.exec = func(ctx context.Context) (json.RawMessage, error) {
-		opts := rs.Options(s.cfg.SweepWorkers)
-		var grid []harness.ConfigResult
-		var err error
-		if rs.Indices == nil {
-			grid, err = s.sweep(ctx, rs.Workload, opts)
-		} else {
-			grid, err = s.shard(ctx, rs.Workload, opts, rs.Indices)
+	job.meta, _ = json.Marshal(req)
+	if s.store != nil {
+		// Durable mode drives the sweep point by point: each grid
+		// point's result is stored under its own run digest and a
+		// checkpoint record follows every completed point, so a killed
+		// process resumes instead of recomputing.
+		job.exec = s.storedSweepExec(job, rs)
+	} else {
+		job.exec = func(ctx context.Context) (json.RawMessage, error) {
+			opts := rs.Options(s.cfg.SweepWorkers)
+			var grid []harness.ConfigResult
+			var err error
+			if rs.Indices == nil {
+				grid, err = s.sweep(ctx, rs.Workload, opts)
+			} else {
+				grid, err = s.shard(ctx, rs.Workload, opts, rs.Indices)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res := SweepResult{Workload: rs.Workload.Name, Shard: rs.Indices}
+			for _, g := range grid {
+				res.Grid = append(res.Grid, SweepPoint{
+					SwapSize: g.SwapSize, QuantaMs: g.Quanta.Millis(),
+					Fairness: g.Fairness, InvMakespan: g.Perf, Swaps: g.Swaps,
+				})
+			}
+			return json.Marshal(res)
 		}
-		if err != nil {
-			return nil, err
-		}
-		res := SweepResult{Workload: rs.Workload.Name, Shard: rs.Indices}
-		for _, g := range grid {
-			res.Grid = append(res.Grid, SweepPoint{
-				SwapSize: g.SwapSize, QuantaMs: g.Quanta.Millis(),
-				Fairness: g.Fairness, InvMakespan: g.Perf, Swaps: g.Swaps,
-			})
-		}
-		return json.Marshal(res)
 	}
 	s.admit(w, job)
 }
@@ -299,7 +323,8 @@ func (s *Server) deadline(ms int64) time.Duration {
 }
 
 // admit runs the submission pipeline: cache lookup, singleflight
-// coalescing, then bounded enqueue with backpressure.
+// coalescing, durable-store lookup, then bounded enqueue with
+// backpressure.
 func (s *Server) admit(w http.ResponseWriter, job *Job) {
 	s.mu.Lock()
 	if s.draining {
@@ -326,24 +351,43 @@ func (s *Server) admit(w http.ResponseWriter, job *Job) {
 	job.events = newBroker()
 	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
 
-	// Result already known: complete without queueing or simulating.
+	// Result already known to the in-memory tier: complete without
+	// queueing or simulating.
 	if cached, ok := s.cache.get(job.digest); ok {
 		s.jobs[job.id] = job
 		s.mu.Unlock()
 		s.metrics.cacheHit()
-		job.mu.Lock()
-		job.status = StatusDone
-		job.cached = true
-		job.result = cached
-		job.started = job.submitted
-		job.finished = job.submitted
-		close(job.done)
-		job.mu.Unlock()
+		s.completeCached(w, job, cached, false)
+		return
+	}
+	s.mu.Unlock()
+
+	// Durable tier, outside the lock (it reads the segment log). A hit
+	// repopulates the LRU and completes the job exactly like a cache
+	// hit — an earlier process already simulated this digest.
+	if payload, ok := s.storeLookup(job.digest); ok {
+		s.mu.Lock()
+		s.jobs[job.id] = job
+		s.mu.Unlock()
+		s.completeCached(w, job, payload, true)
+		return
+	}
+
+	s.mu.Lock()
+	// The lock was dropped for the store read: drain may have begun and
+	// an identical submission may have slipped in. Re-check both.
+	if s.draining {
+		s.mu.Unlock()
 		job.cancel()
-		job.events.close(Event{Status: StatusDone})
-		s.metrics.jobDone(StatusDone)
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting jobs"))
+		return
+	}
+	if leader, ok := s.inflight[job.digest]; ok {
+		s.mu.Unlock()
+		job.cancel()
+		s.metrics.deduped()
 		writeJSON(w, http.StatusOK, submitResponse{
-			ID: job.id, Status: StatusDone, Digest: job.digest, Cached: true,
+			ID: leader.id, Status: leader.Status(), Digest: leader.digest, Deduped: true,
 		})
 		return
 	}
@@ -368,6 +412,26 @@ func (s *Server) admit(w http.ResponseWriter, job *Job) {
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("serve: queue full (%d jobs)", s.cfg.QueueDepth))
 	}
+}
+
+// completeCached finishes a job whose result was already known (LRU or
+// durable store) without it ever touching the queue.
+func (s *Server) completeCached(w http.ResponseWriter, job *Job, result json.RawMessage, fromStore bool) {
+	job.mu.Lock()
+	job.status = StatusDone
+	job.cached = true
+	job.stored = fromStore
+	job.result = result
+	job.started = job.submitted
+	job.finished = job.submitted
+	close(job.done)
+	job.mu.Unlock()
+	job.cancel()
+	job.events.close(Event{Status: StatusDone})
+	s.metrics.jobDone(StatusDone)
+	writeJSON(w, http.StatusOK, submitResponse{
+		ID: job.id, Status: StatusDone, Digest: job.digest, Cached: true, Stored: fromStore,
+	})
 }
 
 // execute runs one job on a worker goroutine.
@@ -398,6 +462,9 @@ func (s *Server) finish(job *Job, result json.RawMessage, err error) {
 	switch {
 	case err == nil:
 		s.cache.put(job.digest, result)
+		// Write-through to the durable tier: a restarted process serves
+		// this digest from disk without re-simulating.
+		s.storePut(job.digest, job.meta, result)
 	case errors.Is(err, context.Canceled):
 		status, final.Status = StatusCanceled, StatusCanceled
 	default:

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dike/internal/harness"
+	"dike/internal/serve/api"
+	"dike/internal/store"
+)
+
+// openStore opens a durable store in dir and closes it with the test.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// countingStub is a simulate stub that counts invocations.
+func countingStub(calls *atomic.Int64) func(context.Context, harness.RunSpec) (*harness.RunOutput, error) {
+	return func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error) {
+		calls.Add(1)
+		return stubOutput(), nil
+	}
+}
+
+// TestServeStoreWriteThrough drives the tentpole's core promise: a
+// result computed by one server process is served by the next process
+// from disk — byte-identical, flagged Stored, with zero simulations.
+func TestServeStoreWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"workload":1,"policy":"null","scale":0.05,"seed":11}`
+
+	var sims1 atomic.Int64
+	_, ts1 := newTestServer(t, Config{
+		Workers: 1, Store: openStore(t, dir), Simulate: countingStub(&sims1),
+	})
+	resp, raw := postJSON(t, ts1.URL+"/v1/runs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, body %s", resp.StatusCode, raw)
+	}
+	var sub submitResponse
+	json.Unmarshal(raw, &sub)
+	v1 := waitDone(t, ts1.URL, sub.ID)
+	if v1.Status != StatusDone || sims1.Load() != 1 {
+		t.Fatalf("first run: status %s, sims %d", v1.Status, sims1.Load())
+	}
+
+	// "Restart": a brand-new server (empty LRU) over the same directory.
+	var sims2 atomic.Int64
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, Store: openStore(t, dir), Simulate: countingStub(&sims2),
+	})
+	resp2, raw2 := postJSON(t, ts2.URL+"/v1/runs", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit = %d, body %s", resp2.StatusCode, raw2)
+	}
+	var sub2 submitResponse
+	json.Unmarshal(raw2, &sub2)
+	if !sub2.Cached || !sub2.Stored || sub2.Digest != sub.Digest {
+		t.Fatalf("resubmit not served from store: %+v", sub2)
+	}
+	v2 := waitDone(t, ts2.URL, sub2.ID)
+	if !v2.Stored {
+		t.Errorf("job view not flagged stored: %+v", v2)
+	}
+	if !bytes.Equal(v2.Result, v1.Result) {
+		t.Errorf("stored result differs:\n  first  %s\n  second %s", v1.Result, v2.Result)
+	}
+	if sims2.Load() != 0 {
+		t.Errorf("second process simulated %d times, want 0", sims2.Load())
+	}
+
+	// The store hit repopulated the LRU: a third submission is a plain
+	// cache hit, not another store read.
+	resp3, raw3 := postJSON(t, ts2.URL+"/v1/runs", body)
+	var sub3 submitResponse
+	json.Unmarshal(raw3, &sub3)
+	if resp3.StatusCode != http.StatusOK || !sub3.Cached || sub3.Stored {
+		t.Fatalf("third submission should be an LRU hit: %d %+v", resp3.StatusCode, sub3)
+	}
+}
+
+// TestServeLookupRun exercises GET /v1/runs?digest=… across both tiers.
+func TestServeLookupRun(t *testing.T) {
+	dir := t.TempDir()
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 1, Store: openStore(t, dir), Simulate: countingStub(&sims),
+	})
+
+	if resp := getJSON(t, ts.URL+"/v1/runs?digest="+strings.Repeat("ab", 32), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/runs"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing digest = %d, want 400", resp.StatusCode)
+	}
+
+	_, raw := postJSON(t, ts.URL+"/v1/runs", `{"workload":1,"policy":"null","scale":0.05,"seed":12}`)
+	var sub submitResponse
+	json.Unmarshal(raw, &sub)
+	v := waitDone(t, ts.URL, sub.ID)
+
+	var got api.StoredResult
+	if resp := getJSON(t, ts.URL+"/v1/runs?digest="+sub.Digest, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup = %d", resp.StatusCode)
+	}
+	if got.Source != "cache" || !bytes.Equal(got.Result, v.Result) {
+		t.Fatalf("lookup = source %q, result match %v", got.Source, bytes.Equal(got.Result, v.Result))
+	}
+
+	// A fresh process over the same dir answers from the store tier.
+	_, ts2 := newTestServer(t, Config{Workers: 1, Store: openStore(t, dir)})
+	var got2 api.StoredResult
+	if resp := getJSON(t, ts2.URL+"/v1/runs?digest="+sub.Digest, &got2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restart lookup = %d", resp.StatusCode)
+	}
+	if got2.Source != "store" || !bytes.Equal(got2.Result, v.Result) {
+		t.Fatalf("restart lookup = source %q", got2.Source)
+	}
+}
+
+// TestServeStoreStats covers /v1/store/stats with and without a store.
+func TestServeStoreStats(t *testing.T) {
+	_, tsOff := newTestServer(t, Config{Workers: 1})
+	var off api.StoreStatsView
+	getJSON(t, tsOff.URL+"/v1/store/stats", &off)
+	if off.Enabled || off.Stats != nil {
+		t.Fatalf("store-less server reports %+v", off)
+	}
+
+	dir := t.TempDir()
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 1, Store: openStore(t, dir), Simulate: countingStub(&sims),
+	})
+	_, raw := postJSON(t, ts.URL+"/v1/runs", `{"workload":1,"policy":"null","scale":0.05,"seed":13}`)
+	var sub submitResponse
+	json.Unmarshal(raw, &sub)
+	waitDone(t, ts.URL, sub.ID)
+
+	var on api.StoreStatsView
+	getJSON(t, ts.URL+"/v1/store/stats", &on)
+	if !on.Enabled || on.Dir != dir {
+		t.Fatalf("stats view = %+v", on)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(on.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != 1 || st.Appends != 1 {
+		t.Fatalf("stats = %+v, want 1 result from 1 append", st)
+	}
+}
+
+// TestServeSweepCheckpointResume interrupts a sweep mid-flight, then
+// resumes it on a fresh server over the same store: only the missing
+// points simulate, and the grid is byte-identical to an uninterrupted
+// store-less sweep. All three phases run the real harness — the
+// store-less reference goes through harness.Sweep, so equality pins the
+// durable per-point executor to the harness path's exact bytes.
+func TestServeSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two real 32-point sweeps")
+	}
+	dir := t.TempDir()
+	sweepBody := `{"workload":1,"scale":0.02,"seed":21}`
+
+	// Phase 1: fail after a handful of real points. SweepWorkers 1 makes
+	// the count deterministic.
+	const failAfter = 5
+	var calls1 atomic.Int64
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, SweepWorkers: 1, Store: openStore(t, dir),
+		Simulate: func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error) {
+			if calls1.Add(1) > failAfter {
+				return nil, errors.New("injected mid-sweep failure")
+			}
+			return harness.Run(ctx, spec)
+		},
+	})
+	_, raw := postJSON(t, ts1.URL+"/v1/sweeps", sweepBody)
+	var sub submitResponse
+	json.Unmarshal(raw, &sub)
+	if v := waitDone(t, ts1.URL, sub.ID); v.Status != StatusFailed {
+		t.Fatalf("interrupted sweep = %s, want failed", v.Status)
+	}
+	if cps := s1.StoreCheckpoints(); len(cps) != 1 || cps[0] != sub.Digest {
+		t.Fatalf("checkpoints after interruption = %v, want [%s]", cps, sub.Digest)
+	}
+
+	// Phase 2: fresh server, same store. Only the missing points run.
+	var calls2 atomic.Int64
+	s2, ts2 := newTestServer(t, Config{
+		Workers: 1, SweepWorkers: 1, Store: openStore(t, dir),
+		Simulate: func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error) {
+			calls2.Add(1)
+			return harness.Run(ctx, spec)
+		},
+	})
+	_, raw2 := postJSON(t, ts2.URL+"/v1/sweeps", sweepBody)
+	var sub2 submitResponse
+	json.Unmarshal(raw2, &sub2)
+	if sub2.Digest != sub.Digest {
+		t.Fatalf("sweep digest changed across restart: %s vs %s", sub2.Digest, sub.Digest)
+	}
+	v2 := waitDone(t, ts2.URL, sub2.ID)
+	if v2.Status != StatusDone {
+		t.Fatalf("resumed sweep = %s: %s", v2.Status, v2.Error)
+	}
+	if got := calls2.Load(); got != 32-failAfter {
+		t.Errorf("resume simulated %d points, want %d", got, 32-failAfter)
+	}
+	if cps := s2.StoreCheckpoints(); len(cps) != 0 {
+		t.Errorf("finished sweep left checkpoints %v", cps)
+	}
+
+	// Reference: an uninterrupted sweep on a store-less server, which
+	// executes via harness.Sweep — no stubs, no store.
+	_, ts3 := newTestServer(t, Config{Workers: 1, SweepWorkers: 1})
+	_, raw3 := postJSON(t, ts3.URL+"/v1/sweeps", sweepBody)
+	var sub3 submitResponse
+	json.Unmarshal(raw3, &sub3)
+	v3 := waitDone(t, ts3.URL, sub3.ID)
+	if v3.Status != StatusDone {
+		t.Fatalf("reference sweep = %s: %s", v3.Status, v3.Error)
+	}
+	if !bytes.Equal(v2.Result, v3.Result) {
+		t.Errorf("resumed grid differs from uninterrupted reference:\n  resumed   %s\n  reference %s", v2.Result, v3.Result)
+	}
+}
+
+// TestMetricsHitRatioCountsDedup is the regression test for the
+// hit-ratio bug: a singleflight-coalesced duplicate got a result
+// without a simulation, so the ratio must count it as a hit.
+func TestMetricsHitRatioCountsDedup(t *testing.T) {
+	m := newMetrics()
+	m.cacheHit()
+	m.deduped()
+	m.cacheMiss()
+	var buf bytes.Buffer
+	if err := m.writeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("dike_serve_cache_hit_ratio %s\n", formatFloat(2.0/3.0))
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics missing %q (dedup must count as a hit):\n%s", want, grepMetric(buf.String(), "hit_ratio"))
+	}
+}
+
+// TestMetricsStoreSection checks the dike_store_* family appears
+// exactly when a store is attached.
+func TestMetricsStoreSection(t *testing.T) {
+	m := newMetrics()
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+	if strings.Contains(buf.String(), "dike_store_") {
+		t.Fatal("store metrics present without a store")
+	}
+
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	if err := st.Put(strings.Repeat("cd", 32), nil, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	m.storeStats = st.Stats
+	m.checkpointResume(7)
+	buf.Reset()
+	m.writeTo(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"dike_store_appends_total 1",
+		"dike_store_results 1",
+		"dike_store_checkpoint_resumes_total 1",
+		"dike_store_checkpoint_resumed_points_total 7",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetric(out, "dike_store_"))
+		}
+	}
+}
+
+// grepMetric filters an exposition dump to lines containing substr, to
+// keep failure output readable.
+func grepMetric(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload approximates a serve-layer RunResult body.
+var benchPayload = []byte(`{"workload":"wl1","type":"batch","policy":"dike","fairness":0.93,"makespan_ms":10500.25,"avg_time_ms":9800.5,"swaps":42,"migrations":84,"completed_at_ms":10500,"benches":[{"name":"blackscholes","time_ms":9800.5,"cv":0.02},{"name":"ferret","time_ms":10500.25,"cv":0.04}]}`)
+
+func benchKey(i int) string {
+	return fmt.Sprintf("%064d", i)
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(benchKey(i), nil, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		if err := s.Put(benchKey(i), nil, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(benchKey(i % n)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkStoreOpen(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if err := s.Put(benchKey(i), nil, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s.Stats().Results; got != n {
+			b.Fatalf("recovered %d results, want %d", got, n)
+		}
+		s.Close()
+	}
+}

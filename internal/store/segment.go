@@ -1,0 +1,179 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout. A segment is a short magic header followed by a
+// sequence of frames; nothing else. Frames are never updated in place —
+// the log is append-only, and a later frame for the same key supersedes
+// any earlier one (recovery replays segments in order, so "last wins"
+// also makes compaction crash-safe: duplicates left by a crash between
+// writing the compacted segment and deleting its sources resolve to the
+// same record).
+//
+// Frame layout (little-endian):
+//
+//	offset size field
+//	0      4    CRC32C over bytes [4, end of frame)
+//	4      1    kind (result | checkpoint | tombstone)
+//	5      4    key length
+//	9      4    meta length
+//	13     4    value length
+//	17     ...  key, meta, value (concatenated)
+//
+// The CRC covers kind, the three lengths and all three sections, so a
+// torn or bit-flipped frame can never enter the index.
+const (
+	segMagic    = "dikeseg1"
+	frameHeader = 17
+	segSuffix   = ".seg"
+)
+
+// Record kinds.
+const (
+	kindResult     = byte(1) // digest → result payload (+ spec meta)
+	kindCheckpoint = byte(2) // sweep digest → cumulative progress
+	kindTombstone  = byte(3) // deletes a checkpoint key
+)
+
+// Sanity bounds on frame sections: a length field beyond these means the
+// header itself is damaged and the scanner cannot resync past it.
+const (
+	maxKeyLen  = 1 << 10
+	maxMetaLen = 1 << 20
+	maxValLen  = 1 << 26
+)
+
+// castagnoli is the CRC32C table (the iSCSI polynomial, hardware
+// accelerated on amd64/arm64 — the same checksum LevelDB and friends
+// frame records with).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is one decoded log record.
+type frame struct {
+	kind byte
+	key  string
+	meta []byte
+	val  []byte
+}
+
+// encodedLen returns the on-disk size of the frame.
+func (f *frame) encodedLen() int {
+	return frameHeader + len(f.key) + len(f.meta) + len(f.val)
+}
+
+// appendTo serialises the frame onto buf and returns the extended slice.
+func (f *frame) appendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // CRC placeholder
+	buf = append(buf, f.kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.meta)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.val)))
+	buf = append(buf, f.key...)
+	buf = append(buf, f.meta...)
+	buf = append(buf, f.val...)
+	crc := crc32.Checksum(buf[start+4:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[start:start+4], crc)
+	return buf
+}
+
+// frameError classifies why a frame failed to decode, so recovery can
+// distinguish a torn tail (truncate) from mid-log damage (skip).
+type frameError struct {
+	// torn: the frame runs past the end of the buffer — either a header
+	// cut short or a body shorter than its declared lengths. At the tail
+	// of the last segment this is the signature of a crash mid-append.
+	torn bool
+	// resync: the header decoded sanely and the full frame is present,
+	// but the CRC does not match; the scanner can skip exactly this
+	// frame and keep reading.
+	resync bool
+	msg    string
+}
+
+func (e *frameError) Error() string { return e.msg }
+
+// decodeFrame parses the frame at buf[off:]. On success it returns the
+// frame and the offset just past it. On failure the *frameError tells
+// the caller whether the rest of the buffer is readable.
+func decodeFrame(buf []byte, off int) (frame, int, *frameError) {
+	rest := buf[off:]
+	if len(rest) < frameHeader {
+		return frame{}, 0, &frameError{torn: true, msg: fmt.Sprintf("truncated header: %d bytes", len(rest))}
+	}
+	kind := rest[4]
+	keyLen := binary.LittleEndian.Uint32(rest[5:9])
+	metaLen := binary.LittleEndian.Uint32(rest[9:13])
+	valLen := binary.LittleEndian.Uint32(rest[13:17])
+	if kind < kindResult || kind > kindTombstone ||
+		keyLen == 0 || keyLen > maxKeyLen || metaLen > maxMetaLen || valLen > maxValLen {
+		// The header itself is garbage: the length fields cannot be
+		// trusted to find the next frame boundary.
+		return frame{}, 0, &frameError{msg: fmt.Sprintf("insane header at offset %d", off)}
+	}
+	total := frameHeader + int(keyLen) + int(metaLen) + int(valLen)
+	if len(rest) < total {
+		return frame{}, 0, &frameError{torn: true, msg: fmt.Sprintf("frame wants %d bytes, %d remain", total, len(rest))}
+	}
+	want := binary.LittleEndian.Uint32(rest[0:4])
+	if crc32.Checksum(rest[4:total], castagnoli) != want {
+		return frame{}, 0, &frameError{resync: true, msg: fmt.Sprintf("crc mismatch at offset %d", off)}
+	}
+	body := rest[frameHeader:total]
+	k, m := int(keyLen), int(metaLen)
+	f := frame{
+		kind: kind,
+		key:  string(body[:k]),
+		meta: body[k : k+m],
+		val:  body[k+m:],
+	}
+	return f, off + total, nil
+}
+
+// segName formats a segment file name; segments sort lexically in
+// creation order.
+func segName(n int) string { return fmt.Sprintf("%08d%s", n, segSuffix) }
+
+// segNum parses a segment file name back to its number.
+func segNum(name string) (int, bool) {
+	base := strings.TrimSuffix(name, segSuffix)
+	if base == name || len(base) != 8 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(base)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", dir, err)
+	}
+	var nums []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := segNum(e.Name()); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Ints(nums)
+	return nums, nil
+}
+
+// segPath joins dir and the segment file name.
+func segPath(dir string, n int) string { return filepath.Join(dir, segName(n)) }

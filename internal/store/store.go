@@ -1,0 +1,582 @@
+// Package store is the durable run store under the serve layer: an
+// embedded, dependency-free, append-only segment log of
+// (digest, spec, result) records with per-record CRC32C framing and an
+// in-memory hash index rebuilt on open.
+//
+// Simulations are deterministic in their spec digest (the replay and
+// cluster parity tests assert byte-identical results), which makes
+// results perfectly content-addressable: a record written once is valid
+// forever, so the store never needs update-in-place, locking across
+// processes, or a background WAL — the log IS the database. Recovery is
+// correspondingly simple: replay every segment, index the last record
+// per key, truncate a torn tail frame (the signature of a crash
+// mid-append) instead of failing, and skip+count mid-log frames whose
+// CRC no longer matches.
+//
+// Beyond results the log carries sweep checkpoint records — cumulative
+// per-grid-point progress keyed by the sweep's digest — so a restarted
+// server resumes an interrupted sweep from its last completed grid
+// index, and tombstones that retire a checkpoint once its sweep result
+// has been stored. Compaction rewrites the live record set into fresh
+// segments and deletes the rest; because recovery is last-record-wins
+// in segment order, a crash anywhere inside compaction leaves a log
+// that recovers to the same index.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentBytes caps one segment file; the log rotates to a new
+	// segment when an append would grow the active one past it.
+	// Default 8 MiB.
+	SegmentBytes int64
+	// Sync fsyncs after every append. Durability default is
+	// process-crash-safe (the OS page cache survives a SIGKILL), not
+	// power-loss-safe; set Sync for the latter at a large latency cost.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of the store's counters. Lifetime counters
+// (appends, hits, compactions, damage) survive for the process, not
+// across restarts; sizes and record counts describe the current log.
+type Stats struct {
+	// Segments / SizeBytes describe the on-disk log right now.
+	Segments  int   `json:"segments"`
+	SizeBytes int64 `json:"size_bytes"`
+	// Results / Checkpoints count live (latest, non-tombstoned) records.
+	Results     int `json:"results"`
+	Checkpoints int `json:"checkpoints"`
+	// Appends / AppendedBytes count records written by this process.
+	Appends       uint64 `json:"appends"`
+	AppendedBytes uint64 `json:"appended_bytes"`
+	// Hits / Misses count Get outcomes (results and checkpoints).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// RecoveredRecords counts valid frames replayed at open.
+	RecoveredRecords uint64 `json:"recovered_records"`
+	// TruncatedRecords / TruncatedBytes count the torn tail dropped at
+	// open by truncating the last segment back to its last good frame.
+	TruncatedRecords uint64 `json:"truncated_records"`
+	TruncatedBytes   uint64 `json:"truncated_bytes"`
+	// CorruptRecords counts mid-log frames skipped on CRC mismatch;
+	// CorruptBytes counts unreadable segment remainders abandoned when
+	// a damaged header made resync impossible.
+	CorruptRecords uint64 `json:"corrupt_records"`
+	CorruptBytes   uint64 `json:"corrupt_bytes"`
+	// Compactions / ReclaimedBytes count Compact calls and the log
+	// shrinkage they achieved.
+	Compactions    uint64 `json:"compactions"`
+	ReclaimedBytes uint64 `json:"reclaimed_bytes"`
+}
+
+// ref locates one live record inside the log.
+type ref struct {
+	seg int
+	off int64
+	n   int // full frame length
+}
+
+// Store is the durable run store. Safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex
+	files   map[int]*os.File // open segment handles, active included
+	active  int              // active (append) segment number
+	size    int64            // active segment size
+	results map[string]ref
+	checks  map[string]ref
+	closed  bool
+
+	// Lifetime counters; atomics so Get can run under RLock.
+	hits, misses uint64
+
+	stats Stats // recovery + append counters, guarded by mu
+}
+
+// Open opens (creating if needed) the store in dir, replaying every
+// segment to rebuild the index. A torn tail record — the signature of a
+// crash mid-append — is truncated away, never an error; mid-log CRC
+// damage is skipped and counted. The returned store is ready for
+// appends.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	nums, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		files:   make(map[int]*os.File),
+		results: make(map[string]ref),
+		checks:  make(map[string]ref),
+	}
+	for i, n := range nums {
+		if err := s.recoverSegment(n, i == len(nums)-1); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(nums) == 0 {
+		if err := s.newSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		s.active = nums[len(nums)-1]
+		f := s.files[s.active]
+		fi, err := f.Stat()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.size = fi.Size()
+		if s.size < int64(len(segMagic)) {
+			// Empty or header-torn last segment: rewrite it from scratch.
+			if err := f.Truncate(0); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			s.size = int64(len(segMagic))
+		}
+	}
+	s.refreshSizes()
+	return s, nil
+}
+
+// recoverSegment replays one segment into the index. last selects the
+// tail rules: torn frames at the end of the last segment are truncated
+// away; anywhere else damage is counted and skipped.
+func (s *Store) recoverSegment(n int, last bool) error {
+	path := segPath(s.dir, n)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.files[n] = f
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(buf) == 0 {
+		return nil // freshly created, crashed before the header landed
+	}
+	if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
+		if last {
+			// A header torn by a crash at creation: reuse the file.
+			s.stats.TruncatedBytes += uint64(len(buf))
+			return f.Truncate(0)
+		}
+		s.stats.CorruptBytes += uint64(len(buf))
+		s.stats.CorruptRecords++
+		return nil
+	}
+
+	off := len(segMagic)
+	for off < len(buf) {
+		fr, next, ferr := decodeFrame(buf, off)
+		if ferr == nil {
+			s.apply(fr, ref{seg: n, off: int64(off), n: next - off})
+			s.stats.RecoveredRecords++
+			off = next
+			continue
+		}
+		if ferr.torn && last {
+			// Crash mid-append: drop the partial frame and keep the file
+			// appendable at the last good offset.
+			s.stats.TruncatedRecords++
+			s.stats.TruncatedBytes += uint64(len(buf) - off)
+			return f.Truncate(int64(off))
+		}
+		if ferr.resync {
+			// The frame is fully present but its CRC fails: skip exactly
+			// this frame and keep reading.
+			s.stats.CorruptRecords++
+			off += frameLenAt(buf, off)
+			continue
+		}
+		// A damaged header (or a torn frame mid-log): the length fields
+		// cannot be trusted, so the rest of this segment is unreadable.
+		s.stats.CorruptRecords++
+		s.stats.CorruptBytes += uint64(len(buf) - off)
+		return nil
+	}
+	return nil
+}
+
+// frameLenAt returns the full frame length declared by the (sane)
+// header at off. Only called after decodeFrame classified the frame as
+// resync-able, which guarantees the lengths were within bounds.
+func frameLenAt(buf []byte, off int) int {
+	fr := buf[off:]
+	kl := int(binary.LittleEndian.Uint32(fr[5:9]))
+	ml := int(binary.LittleEndian.Uint32(fr[9:13]))
+	vl := int(binary.LittleEndian.Uint32(fr[13:17]))
+	return frameHeader + kl + ml + vl
+}
+
+// apply folds one recovered or appended frame into the index.
+func (s *Store) apply(fr frame, r ref) {
+	switch fr.kind {
+	case kindResult:
+		s.results[fr.key] = r
+	case kindCheckpoint:
+		s.checks[fr.key] = r
+	case kindTombstone:
+		delete(s.checks, fr.key)
+	}
+}
+
+// newSegment creates segment n, writes its header and makes it active.
+func (s *Store) newSegment(n int) error {
+	f, err := os.OpenFile(segPath(s.dir, n), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.files[n] = f
+	s.active = n
+	s.size = int64(len(segMagic))
+	return nil
+}
+
+// append writes one frame to the active segment, rotating first when it
+// would overflow, and indexes it. Caller holds mu.
+func (s *Store) append(fr frame) error {
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	n := fr.encodedLen()
+	if s.size+int64(n) > s.opts.SegmentBytes && s.size > int64(len(segMagic)) {
+		if s.opts.Sync {
+			if err := s.files[s.active].Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		if err := s.newSegment(s.active + 1); err != nil {
+			return err
+		}
+	}
+	buf := fr.appendTo(make([]byte, 0, n))
+	f := s.files[s.active]
+	if _, err := f.WriteAt(buf, s.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.apply(fr, ref{seg: s.active, off: s.size, n: n})
+	s.size += int64(n)
+	s.stats.Appends++
+	s.stats.AppendedBytes += uint64(n)
+	return nil
+}
+
+// Put stores a result payload under its digest, with an optional meta
+// blob (the resolved spec, for offline inspection). Results are
+// content-addressed: writing the same digest again is legal and the
+// last record wins, but callers normally check Get first.
+func (s *Store) Put(digest string, meta, result []byte) error {
+	if err := checkKey(digest); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(frame{kind: kindResult, key: digest, meta: meta, val: result})
+}
+
+// Get returns the stored result payload for digest.
+func (s *Store) Get(digest string) ([]byte, bool) {
+	_, val, ok := s.lookup(s.resultsRef(digest))
+	return val, ok
+}
+
+// GetRecord returns both the meta and result payloads for digest.
+func (s *Store) GetRecord(digest string) (meta, result []byte, ok bool) {
+	return s.lookup(s.resultsRef(digest))
+}
+
+// PutCheckpoint stores cumulative progress under key (a sweep digest).
+// Later checkpoints supersede earlier ones.
+func (s *Store) PutCheckpoint(key string, payload []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(frame{kind: kindCheckpoint, key: key, val: payload})
+}
+
+// GetCheckpoint returns the latest checkpoint payload for key.
+func (s *Store) GetCheckpoint(key string) ([]byte, bool) {
+	_, val, ok := s.lookup(s.checksRef(key))
+	return val, ok
+}
+
+// DeleteCheckpoint retires a checkpoint (the sweep completed; its
+// result record now serves restarts). Deletion is an appended
+// tombstone, compacted away later.
+func (s *Store) DeleteCheckpoint(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.checks[key]; !ok {
+		return nil
+	}
+	return s.append(frame{kind: kindTombstone, key: key})
+}
+
+func checkKey(key string) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("store: bad key length %d", len(key))
+	}
+	return nil
+}
+
+func (s *Store) resultsRef(key string) (ref, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.results[key]
+	return r, ok
+}
+
+func (s *Store) checksRef(key string) (ref, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.checks[key]
+	return r, ok
+}
+
+// lookup reads the frame a ref points at and counts the hit or miss.
+func (s *Store) lookup(r ref, ok bool) (meta, val []byte, found bool) {
+	if !ok {
+		atomic.AddUint64(&s.misses, 1)
+		return nil, nil, false
+	}
+	s.mu.RLock()
+	f := s.files[r.seg]
+	s.mu.RUnlock()
+	if f == nil {
+		atomic.AddUint64(&s.misses, 1)
+		return nil, nil, false
+	}
+	buf := make([]byte, r.n)
+	if _, err := f.ReadAt(buf, r.off); err != nil {
+		atomic.AddUint64(&s.misses, 1)
+		return nil, nil, false
+	}
+	fr, _, ferr := decodeFrame(buf, 0)
+	if ferr != nil {
+		atomic.AddUint64(&s.misses, 1)
+		return nil, nil, false
+	}
+	atomic.AddUint64(&s.hits, 1)
+	return fr.meta, fr.val, true
+}
+
+// RecordInfo describes one live record for offline inspection.
+type RecordInfo struct {
+	Key     string `json:"key"`
+	Kind    string `json:"kind"`
+	Segment int    `json:"segment"`
+	Bytes   int    `json:"bytes"`
+}
+
+// Records lists the live records, results first then checkpoints, each
+// group sorted by key.
+func (s *Store) Records() []RecordInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RecordInfo, 0, len(s.results)+len(s.checks))
+	for _, group := range []struct {
+		kind string
+		m    map[string]ref
+	}{{"result", s.results}, {"checkpoint", s.checks}} {
+		keys := make([]string, 0, len(group.m))
+		for k := range group.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r := group.m[k]
+			out = append(out, RecordInfo{Key: k, Kind: group.kind, Segment: r.seg, Bytes: r.n})
+		}
+	}
+	return out
+}
+
+// Compact rewrites the live record set (results plus un-retired
+// checkpoints) into fresh segments and deletes every older one,
+// reclaiming space held by superseded, tombstoned and corrupt records.
+// Crash-safe: new segments are numbered after the old ones and recovery
+// is last-record-wins, so dying between writing the new segments and
+// removing the old ones recovers to the identical index.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+
+	old := make([]int, 0, len(s.files))
+	var oldBytes int64
+	for n, f := range s.files {
+		old = append(old, n)
+		if fi, err := f.Stat(); err == nil {
+			oldBytes += fi.Size()
+		}
+	}
+	sort.Ints(old)
+
+	// Read every live frame before touching any file.
+	type liveRec struct {
+		fr frame
+	}
+	var live []liveRec
+	collect := func(m map[string]ref, kind byte) error {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r := m[k]
+			buf := make([]byte, r.n)
+			if _, err := s.files[r.seg].ReadAt(buf, r.off); err != nil {
+				return fmt.Errorf("store: compact read %s: %w", k, err)
+			}
+			fr, _, ferr := decodeFrame(buf, 0)
+			if ferr != nil {
+				return fmt.Errorf("store: compact decode %s: %s", k, ferr.msg)
+			}
+			fr.kind = kind
+			live = append(live, liveRec{fr: fr})
+		}
+		return nil
+	}
+	if err := collect(s.results, kindResult); err != nil {
+		return err
+	}
+	if err := collect(s.checks, kindCheckpoint); err != nil {
+		return err
+	}
+
+	// Write the live set into fresh segments numbered past the old log.
+	next := 1
+	if len(old) > 0 {
+		next = old[len(old)-1] + 1
+	}
+	if err := s.newSegment(next); err != nil {
+		return err
+	}
+	for _, rec := range live {
+		if err := s.append(rec.fr); err != nil {
+			return err
+		}
+	}
+	if err := s.files[s.active].Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// Only now is it safe to drop the sources.
+	for _, n := range old {
+		s.files[n].Close()
+		delete(s.files, n)
+		if err := os.Remove(segPath(s.dir, n)); err != nil {
+			return fmt.Errorf("store: compact remove: %w", err)
+		}
+	}
+	s.stats.Compactions++
+	s.refreshSizes()
+	if reclaimed := oldBytes - s.stats.SizeBytes; reclaimed > 0 {
+		s.stats.ReclaimedBytes += uint64(reclaimed)
+	}
+	return nil
+}
+
+// refreshSizes recomputes Segments and SizeBytes. Caller holds mu (or
+// has exclusive access during Open).
+func (s *Store) refreshSizes() {
+	s.stats.Segments = len(s.files)
+	s.stats.SizeBytes = 0
+	for _, f := range s.files {
+		if fi, err := f.Stat(); err == nil {
+			s.stats.SizeBytes += fi.Size()
+		}
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.Results = len(s.results)
+	st.Checkpoints = len(s.checks)
+	st.Segments = len(s.files)
+	st.SizeBytes = 0
+	for _, f := range s.files {
+		if fi, err := f.Stat(); err == nil {
+			st.SizeBytes += fi.Size()
+		}
+	}
+	st.Hits = atomic.LoadUint64(&s.hits)
+	st.Misses = atomic.LoadUint64(&s.misses)
+	return st
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs the active segment and releases every file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if f, ok := s.files[s.active]; ok {
+		if err := f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
