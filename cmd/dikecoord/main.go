@@ -19,6 +19,8 @@
 //	GET    /v1/runs?digest=…    content-addressed lookup across the fleet
 //	GET    /v1/store/stats      per-worker durable-store counters
 //	GET    /v1/cluster/workers  fleet health + per-worker traffic
+//	POST   /v1/cluster/workers  join a worker (optional ttl_ms lease)
+//	DELETE /v1/cluster/workers?url=…  remove a worker
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition
 //
@@ -33,7 +35,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -48,12 +49,16 @@ import (
 
 func main() {
 	var (
-		addrFlag    = flag.String("addr", ":9090", "listen address")
-		workersFlag = flag.String("workers", "", "comma-separated dikeserved base URLs (required)")
-		probeFlag   = flag.Duration("probe-interval", 2*time.Second, "worker /healthz probing period")
-		shardFlag   = flag.Duration("shard-timeout", 2*time.Minute, "per-attempt bound on one run or shard (submit + poll)")
-		retryFlag   = flag.Int("retries", 3, "placement attempts per run or shard (first try included)")
-		drainFlag   = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs on shutdown")
+		addrFlag     = flag.String("addr", ":9090", "listen address")
+		workersFlag  = flag.String("workers", "", "comma-separated dikeserved base URLs (may be empty: workers can join at runtime)")
+		probeFlag    = flag.Duration("probe-interval", 2*time.Second, "worker /healthz probing period")
+		shardFlag    = flag.Duration("shard-timeout", 2*time.Minute, "per-attempt bound on one run or shard (submit + poll)")
+		retryFlag    = flag.Int("retries", 3, "placement attempts per run or shard (first try included)")
+		drainFlag    = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs on shutdown")
+		downFlag     = flag.Int("down-after", 0, "consecutive failures before a worker's breaker opens (0 = default 3)")
+		upFlag       = flag.Int("up-after", 0, "consecutive successes before a half-open breaker closes (0 = default 2)")
+		openForFlag  = flag.Duration("open-for", 0, "how long an open breaker waits before probing half-open (0 = default 5s)")
+		inflightFlag = flag.Int("max-inflight", 0, "per-worker inflight cap before placements spill over (0 = default 32, <0 disables)")
 	)
 	flag.Parse()
 
@@ -63,15 +68,18 @@ func main() {
 			workers = append(workers, strings.TrimRight(w, "/"))
 		}
 	}
-	if len(workers) == 0 {
-		cli.Fatal(fmt.Errorf("dikecoord: -workers requires at least one dikeserved URL"))
-	}
 
 	coord, err := cluster.New(cluster.Config{
 		Workers:       workers,
 		ProbeInterval: *probeFlag,
 		ShardTimeout:  *shardFlag,
 		RetryBudget:   *retryFlag,
+		Breaker: cluster.BreakerConfig{
+			DownAfter: *downFlag,
+			UpAfter:   *upFlag,
+			OpenFor:   *openForFlag,
+		},
+		MaxInflightPerWorker: *inflightFlag,
 	})
 	if err != nil {
 		cli.Fatal(err)
@@ -86,8 +94,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("dikecoord listening on %s, fronting %d workers: %s",
-			*addrFlag, len(workers), strings.Join(workers, ", "))
+		if len(workers) == 0 {
+			log.Printf("dikecoord listening on %s with an empty fleet; waiting for workers to join", *addrFlag)
+		} else {
+			log.Printf("dikecoord listening on %s, fronting %d workers: %s",
+				*addrFlag, len(workers), strings.Join(workers, ", "))
+		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -10,10 +10,22 @@
 //	dikeload -n 50 -c 4                       # 50 requests, 4 clients
 //	dikeload -addr http://host:9000 -mix 10,1 # 1 sweep per 10 runs
 //	dikeload -seed-space 4                    # force cache/dedup hits
+//	dikeload -churn -n 60                     # zero-loss soak gate
+//
+// Churn mode (-churn) is the soak gate for a fleet under failure
+// injection: every spec is retried through transport errors, 5xx and
+// backpressure until it completes, each completed result is hashed,
+// and the run fails unless every spec completed (zero loss) and every
+// digest resolved to exactly one result hash (no divergent
+// duplicates). The final "soak digest" is a deterministic hash over
+// the digest→result-hash table, so two soaks of the same spec set —
+// chaos or no chaos, one worker or five — must print the same value.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +54,7 @@ func main() {
 		spaceFlag = flag.Int("seed-space", 0, "distinct seeds to draw from (0 = all distinct; small values force cache hits)")
 		pollFlag  = flag.Bool("poll", true, "poll each accepted job to completion")
 		waitFlag  = flag.Duration("job-timeout", 2*time.Minute, "per-job completion timeout when polling")
+		churnFlag = flag.Bool("churn", false, "zero-loss soak gate: retry every spec to completion, verify exactly-once byte-identical results")
 	)
 	flag.Parse()
 	if *nFlag < 1 || *cFlag < 1 {
@@ -50,6 +63,9 @@ func main() {
 	runW, sweepW, err := parseMix(*mixFlag)
 	if err != nil {
 		cli.Fatal(err)
+	}
+	if *churnFlag && sweepW > 0 {
+		cli.Fatal(fmt.Errorf("dikeload: -churn verifies run results and is runs-only; use -mix 1,0"))
 	}
 
 	lg := &loadgen{
@@ -63,8 +79,10 @@ func main() {
 		sweepW:  sweepW,
 		poll:    *pollFlag,
 		timeout: *waitFlag,
+		churn:   *churnFlag,
 		codes:   make(map[int]int),
 		lat:     newReservoir(reservoirSize, int64(*seedFlag)),
+		results: make(map[string]map[string]int),
 	}
 
 	start := time.Now()
@@ -96,6 +114,7 @@ type loadgen struct {
 	sweepW  int
 	poll    bool
 	timeout time.Duration
+	churn   bool
 
 	next int64 // atomically claimed request index
 
@@ -107,20 +126,28 @@ type loadgen struct {
 	deduped   int
 	completed int
 	jobFailed int
+	// Churn-mode accounting: spec digest → result hash → times seen,
+	// plus specs that never completed inside their budget.
+	results map[string]map[string]int
+	lost    int
+	retried int
 }
 
 // submitResponse mirrors the server's submission body.
 type submitResponse struct {
 	ID      string `json:"id"`
 	Status  string `json:"status"`
+	Digest  string `json:"digest"`
 	Cached  bool   `json:"cached"`
 	Deduped bool   `json:"deduped"`
 }
 
 // jobView mirrors the fields of the server's job view we poll on.
 type jobView struct {
-	Status string `json:"status"`
-	Error  string `json:"error"`
+	Status string          `json:"status"`
+	Digest string          `json:"digest"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // run is one closed-loop client: claim an index, submit, (optionally)
@@ -134,6 +161,10 @@ func (lg *loadgen) run(client int) {
 		seed := lg.seed + uint64(i)
 		if lg.space > 0 {
 			seed = lg.seed + uint64(i)%uint64(lg.space)
+		}
+		if lg.churn {
+			lg.churnOne(i, seed)
+			continue
 		}
 		path, body := lg.request(i, seed)
 
@@ -195,6 +226,153 @@ func (lg *loadgen) request(i int64, seed uint64) (string, []byte) {
 	return "/v1/runs", body
 }
 
+// churnOne drives one spec to completion through whatever the network
+// is doing: submissions are retried on transport errors, 5xx and 429
+// with truncated backoff, and a placement that the fleet ultimately
+// fails is resubmitted — content addressing makes the retry safe, the
+// worker serves the digest from cache or store instead of recomputing.
+// Only a spec that never completes inside the -job-timeout budget
+// counts as lost.
+func (lg *loadgen) churnOne(i int64, seed uint64) {
+	path, body := lg.request(i, seed)
+	deadline := time.Now().Add(lg.timeout)
+	backoff := 50 * time.Millisecond
+	first := true
+	for time.Now().Before(deadline) {
+		if !first {
+			lg.mu.Lock()
+			lg.retried++
+			lg.mu.Unlock()
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		first = false
+
+		t0 := time.Now()
+		resp, err := lg.client.Post(lg.base+path, "application/json", bytes.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			lg.mu.Lock()
+			lg.transport++
+			lg.mu.Unlock()
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		var sub submitResponse
+		json.Unmarshal(raw, &sub)
+		lg.mu.Lock()
+		lg.codes[resp.StatusCode]++
+		lg.lat.observe(lat)
+		if sub.Cached {
+			lg.cached++
+		}
+		if sub.Deduped {
+			lg.deduped++
+		}
+		lg.mu.Unlock()
+
+		accepted := resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK
+		if !accepted || sub.ID == "" {
+			continue
+		}
+		digest, sum, ok := lg.awaitResult(sub.ID, sub.Digest, deadline)
+		if !ok {
+			continue // job failed or poll budget ran out on this attempt
+		}
+		lg.mu.Lock()
+		lg.completed++
+		if lg.results[digest] == nil {
+			lg.results[digest] = make(map[string]int)
+		}
+		lg.results[digest][sum]++
+		lg.mu.Unlock()
+		return
+	}
+	lg.mu.Lock()
+	lg.lost++
+	lg.mu.Unlock()
+}
+
+// awaitResult polls one job to "done" and hashes its result bytes
+// (JSON-compacted first, so byte identity is about content, not about
+// which code path serialised it). Poll transport errors are retried;
+// a terminal failure returns ok=false so the caller resubmits.
+func (lg *loadgen) awaitResult(id, digest string, deadline time.Time) (string, string, bool) {
+	for time.Now().Before(deadline) {
+		resp, err := lg.client.Get(lg.base + "/v1/runs/" + id)
+		if err != nil {
+			lg.mu.Lock()
+			lg.transport++
+			lg.mu.Unlock()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var v jobView
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&v)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return "", "", false // job table lost the ID: resubmit
+		}
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch v.Status {
+		case "done":
+			if v.Digest != "" {
+				digest = v.Digest
+			}
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, v.Result); err != nil {
+				return "", "", false // truncated/garbled body: resubmit
+			}
+			sum := sha256.Sum256(buf.Bytes())
+			return digest, hex.EncodeToString(sum[:]), true
+		case "failed", "canceled":
+			return "", "", false
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return "", "", false
+}
+
+// soakDigest folds the digest→result-hash table into one hex value:
+// SHA-256 over the sorted "spec-digest result-hash" lines. Two soaks
+// that served the same spec set with identical results print the same
+// digest, whatever the fleet looked like.
+func (lg *loadgen) soakDigest() string {
+	lines := make([]string, 0, len(lg.results))
+	for digest, sums := range lg.results {
+		for sum := range sums {
+			lines = append(lines, digest+" "+sum)
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		io.WriteString(h, l)
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// divergent counts digests that resolved to more than one result hash
+// — the duplicate-with-different-bytes failure the soak gate exists to
+// catch.
+func (lg *loadgen) divergent() int {
+	n := 0
+	for _, sums := range lg.results {
+		if len(sums) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // await polls one job until it reaches a terminal state.
 func (lg *loadgen) await(id string) {
 	deadline := time.Now().Add(lg.timeout)
@@ -229,10 +407,15 @@ func (lg *loadgen) await(id string) {
 }
 
 // hardErrors counts outcomes that should fail a smoke run: transport
-// errors, failed jobs, and any status outside {2xx, 429}.
+// errors, failed jobs, and any status outside {2xx, 429}. In churn
+// mode transport errors and 5xx are the injected weather, not
+// failures; the gate is zero loss and zero divergent duplicates.
 func (lg *loadgen) hardErrors() int {
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
+	if lg.churn {
+		return lg.lost + lg.divergent()
+	}
 	n := lg.transport + lg.jobFailed
 	for code, count := range lg.codes {
 		if (code < 200 || code > 299) && code != http.StatusTooManyRequests {
@@ -264,7 +447,11 @@ func (lg *loadgen) report(w io.Writer, elapsed time.Duration, clients int) {
 	}
 	fmt.Fprintf(w, "  status: %s\n", strings.Join(parts, " "))
 	fmt.Fprintf(w, "  served: cached=%d deduped=%d\n", lg.cached, lg.deduped)
-	if lg.poll {
+	if lg.churn {
+		fmt.Fprintf(w, "  churn:  specs=%d completed=%d lost=%d retried=%d digests=%d divergent=%d\n",
+			lg.n, lg.completed, lg.lost, lg.retried, len(lg.results), lg.divergent())
+		fmt.Fprintf(w, "  soak digest: %s\n", lg.soakDigest())
+	} else if lg.poll {
 		fmt.Fprintf(w, "  jobs:   completed=%d failed=%d\n", lg.completed, lg.jobFailed)
 	}
 

@@ -8,6 +8,8 @@
 //	dikeserved -addr :9000 -workers 8     # bigger pool, other port
 //	dikeserved -queue 128 -cache 512      # deeper queue, bigger cache
 //	dikeserved -store-dir /var/lib/dike   # durable run store (restart-warm)
+//	dikeserved -coord http://coord:9090 -advertise http://me:8080 -lease 10s
+//	                                      # self-register and heartbeat a membership lease
 //
 // Endpoints:
 //
@@ -60,6 +62,9 @@ func main() {
 		storeDirFlag = flag.String("store-dir", "", "durable run store directory (empty disables persistence)")
 		storeSegFlag = flag.Int("store-segment-mb", 8, "store segment rotation size, MiB")
 		storeSync    = flag.Bool("store-sync", false, "fsync every store append (power-loss safety at a latency cost)")
+		coordFlag    = flag.String("coord", "", "dikecoord base URL to self-register with (empty disables)")
+		advertFlag   = flag.String("advertise", "", "URL the coordinator dials this worker on (required with -coord)")
+		leaseFlag    = flag.Duration("lease", 10*time.Second, "membership lease TTL when self-registering (0 = permanent, no heartbeat)")
 	)
 	flag.Parse()
 
@@ -103,6 +108,17 @@ func main() {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
+	// Self-registration: join the coordinator's fleet and keep the
+	// membership lease renewed until shutdown.
+	var reg *registrar
+	if *coordFlag != "" {
+		var err error
+		if reg, err = newRegistrar(*coordFlag, *advertFlag, *leaseFlag); err != nil {
+			log.Fatal(err)
+		}
+		reg.start()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
@@ -114,10 +130,15 @@ func main() {
 		log.Printf("received %v, draining (timeout %v)", sig, *drainFlag)
 	}
 
-	// Drain the job layer first — submissions now get 503 while status,
-	// events and metrics stay readable — then close the HTTP listener.
+	// Leave the fleet first so the coordinator stops routing new
+	// placements here, then drain the job layer — submissions now get
+	// 503 while status, events and metrics stay readable — then close
+	// the HTTP listener.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
 	defer cancel()
+	if reg != nil {
+		reg.shutdown(ctx)
+	}
 	if err := srv.Drain(ctx); err != nil {
 		log.Printf("drain incomplete, in-flight jobs were cancelled: %v", err)
 	}

@@ -1,0 +1,141 @@
+package cluster
+
+import "time"
+
+// breakerState is one worker's circuit-breaker position. The old
+// registry was one-strike: a single dropped probe evicted a cache-hot
+// owner and rerouted its keys to a cold successor. The breaker makes
+// both edges configurable — DownAfter consecutive failures to open,
+// UpAfter consecutive successes to close again — with a half-open
+// probation state in between so a recovering worker earns its traffic
+// back one trial at a time instead of being flooded.
+type breakerState int
+
+const (
+	// breakerClosed: the worker is trusted and fully routable.
+	breakerClosed breakerState = iota
+	// breakerHalfOpen: probation. Routable for a single trial placement
+	// at a time (pickWorker caps half-open workers at one inflight);
+	// UpAfter consecutive successes close the breaker, one failure
+	// re-opens it.
+	breakerHalfOpen
+	// breakerOpen: the worker is out of rotation. After OpenFor elapses
+	// the breaker lazily moves to half-open on the next routability
+	// check, so an isolated fleet with probing disabled still retries
+	// eventually.
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerConfig shapes every worker's health breaker.
+type BreakerConfig struct {
+	// DownAfter is the consecutive-failure count that opens the breaker.
+	// Default 3 — a flapping single probe no longer causes route churn.
+	DownAfter int
+	// UpAfter is the consecutive-success count (probes or trial
+	// placements) that closes a non-closed breaker. Default 2.
+	UpAfter int
+	// OpenFor is how long an open breaker refuses traffic before
+	// admitting a half-open trial. Default 5s. Probe successes can close
+	// the breaker sooner — OpenFor only gates request traffic.
+	OpenFor time.Duration
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.DownAfter < 1 {
+		b.DownAfter = 3
+	}
+	if b.UpAfter < 1 {
+		b.UpAfter = 2
+	}
+	if b.OpenFor <= 0 {
+		b.OpenFor = 5 * time.Second
+	}
+	return b
+}
+
+// breaker is the per-worker state machine. Not goroutine-safe: the
+// owning workerState's mutex serialises access. Time is injected so the
+// transition table is testable without sleeping.
+type breaker struct {
+	cfg      BreakerConfig
+	state    breakerState
+	fails    int // consecutive failures
+	oks      int // consecutive successes while not closed
+	openedAt time.Time
+}
+
+// onSuccess records a successful probe or placement and returns the
+// state transition, if any. A success while open means a probe reached
+// the worker — it moves straight to half-open probation without waiting
+// out OpenFor (probes are free; only traffic waits).
+func (b *breaker) onSuccess() (from, to breakerState, changed bool) {
+	from = b.state
+	b.fails = 0
+	switch b.state {
+	case breakerClosed:
+		return from, from, false
+	case breakerOpen:
+		b.state = breakerHalfOpen
+		b.oks = 1
+		if b.oks >= b.cfg.UpAfter {
+			b.state = breakerClosed
+			b.oks = 0
+		}
+		return from, b.state, true
+	default: // half-open
+		b.oks++
+		if b.oks >= b.cfg.UpAfter {
+			b.state = breakerClosed
+			b.oks = 0
+			return from, breakerClosed, true
+		}
+		return from, from, false
+	}
+}
+
+// onFailure records a failed probe or placement and returns the state
+// transition, if any.
+func (b *breaker) onFailure(now time.Time) (from, to breakerState, changed bool) {
+	from = b.state
+	b.oks = 0
+	b.fails++
+	switch b.state {
+	case breakerClosed:
+		if b.fails >= b.cfg.DownAfter {
+			b.state = breakerOpen
+			b.openedAt = now
+			return from, breakerOpen, true
+		}
+		return from, from, false
+	case breakerHalfOpen:
+		// One failed trial ends probation.
+		b.state = breakerOpen
+		b.openedAt = now
+		return from, breakerOpen, true
+	default: // already open: refresh nothing, stay put
+		return from, from, false
+	}
+}
+
+// current returns the state as of now, lazily promoting an expired open
+// breaker to half-open so routability checks see probation even when
+// probing is disabled.
+func (b *breaker) current(now time.Time) (state breakerState, changed bool) {
+	if b.state == breakerOpen && now.Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = breakerHalfOpen
+		b.oks = 0
+		return breakerHalfOpen, true
+	}
+	return b.state, false
+}

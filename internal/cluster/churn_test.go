@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dike/internal/chaos"
+	"dike/internal/harness"
+	simmetrics "dike/internal/metrics"
+	"dike/internal/serve"
+)
+
+// pureRun is a simulate stub that is a pure function of the spec, so
+// any two workers — and the undisturbed reference fleet — must produce
+// byte-identical results for the same digest.
+func pureRun(calls *atomic.Int64) func(context.Context, harness.RunSpec) (*harness.RunOutput, error) {
+	return func(ctx context.Context, spec harness.RunSpec) (*harness.RunOutput, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return &harness.RunOutput{
+			Result: &simmetrics.RunResult{
+				Policy:   spec.Policy,
+				Workload: spec.Workload.Name,
+				Fairness: float64(spec.Seed%97) / 97,
+				AvgTime:  float64(100 + spec.Seed%13),
+				Makespan: float64(1000 + spec.Seed%7),
+			},
+			CompletedAt: 100,
+		}, nil
+	}
+}
+
+// churnSpec builds the i-th soak spec body; distinct seeds, mixed
+// policies and workloads.
+func churnSpec(i int) string {
+	policies := []string{"dike", "cfs", "dio"}
+	return fmt.Sprintf(`{"workload": %d, "policy": %q, "seed": %d, "scale": 0.01}`,
+		1+i%4, policies[i%3], 5000+i)
+}
+
+// churnSubmit drives one spec to completion through chaos: submissions
+// are retried on transport errors and non-2xx, failed placements are
+// resubmitted, and the result bytes are hashed. Mirrors what
+// `dikeload -churn` does, in-process.
+func churnSubmit(base, body string, deadline time.Time) (digest, sum string, err error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for time.Now().Before(deadline) {
+		resp, perr := client.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+		if perr != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var sub struct {
+			ID     string `json:"id"`
+			Digest string `json:"digest"`
+		}
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sub)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if decErr != nil || (code != http.StatusAccepted && code != http.StatusOK) || sub.ID == "" {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+	poll:
+		for time.Now().Before(deadline) {
+			r2, gerr := client.Get(base + "/v1/runs/" + sub.ID)
+			if gerr != nil {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			var v struct {
+				Status string          `json:"status"`
+				Digest string          `json:"digest"`
+				Result json.RawMessage `json:"result"`
+			}
+			decErr := json.NewDecoder(io.LimitReader(r2.Body, 4<<20)).Decode(&v)
+			r2.Body.Close()
+			if decErr != nil {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			switch v.Status {
+			case "done":
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, v.Result); err != nil {
+					break poll // garbled body: resubmit
+				}
+				h := sha256.Sum256(buf.Bytes())
+				return v.Digest, hex.EncodeToString(h[:]), nil
+			case "failed", "canceled":
+				break poll // placement exhausted its retries: resubmit
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return "", "", fmt.Errorf("spec not served before deadline")
+}
+
+// soakFleet runs nSpecs through a coordinator and returns the
+// digest→result-hash table; any spec that cannot be completed fails
+// the test.
+func soakFleet(t *testing.T, base string, nSpecs int, timeout time.Duration, disturb func(i int)) map[string]map[string]bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	results := make(map[string]map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := 0; i < nSpecs; i++ {
+		if disturb != nil {
+			disturb(i)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			digest, sum, err := churnSubmit(base, churnSpec(i), deadline)
+			if err != nil {
+				t.Errorf("spec %d lost: %v", i, err)
+				return
+			}
+			mu.Lock()
+			if results[digest] == nil {
+				results[digest] = make(map[string]bool)
+			}
+			results[digest][sum] = true
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// chaosFront puts a deterministic chaos proxy in front of a worker URL
+// and returns the proxy's public URL.
+func chaosFront(t *testing.T, target string, seed uint64) string {
+	t.Helper()
+	p, err := chaos.NewProxy(target, chaos.Config{
+		Seed:       seed,
+		Rate:       0.2,
+		Classes:    []chaos.Class{chaos.ClassReset, chaos.ClassError5xx, chaos.ClassTruncate, chaos.ClassLatency},
+		MaxLatency: 20 * time.Millisecond,
+		BurstLen:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return front.URL
+}
+
+// TestChurnSoakExactlyOnce is the Go-level soak gate: a fleet behind
+// fault-injecting proxies, one worker joining mid-soak and one killed
+// and deregistered mid-soak, must serve every spec (zero loss) with
+// exactly one result hash per digest, and that table must match an
+// undisturbed single-worker reference fleet byte for byte.
+func TestChurnSoakExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const nSpecs = 24
+
+	// Reference: one clean worker, no chaos, no churn.
+	_, refWorker := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+	_, refCoord := newCoord(t, []string{refWorker.URL}, nil)
+	ref := soakFleet(t, refCoord.URL, nSpecs, 30*time.Second, nil)
+
+	// Fleet under test: three workers behind chaos proxies, distinct
+	// seeds so their fault schedules differ.
+	_, wA := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+	_, wB := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+	wC := serve.New(serve.Config{Workers: 2, Simulate: pureRun(nil)})
+	wC.Start()
+	tsC := httptest.NewServer(wC.Handler()) // closed mid-soak by hand
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wC.Drain(ctx)
+	})
+
+	pA := chaosFront(t, wA.URL, 101)
+	pB := chaosFront(t, wB.URL, 202)
+	pC := chaosFront(t, tsC.URL, 303)
+
+	// The late joiner (clean, no proxy — joins are about membership, the
+	// chaos is already exercised above).
+	_, wD := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+
+	coord, coordTS := newCoord(t, []string{pA, pB, pC}, func(cfg *Config) {
+		cfg.ProbeInterval = 50 * time.Millisecond
+		cfg.RetryBudget = 4
+		cfg.ShardTimeout = 10 * time.Second
+		cfg.Breaker = BreakerConfig{DownAfter: 2, UpAfter: 1, OpenFor: 200 * time.Millisecond}
+		cfg.LeaseSweepInterval = 20 * time.Millisecond
+	})
+
+	var once sync.Once
+	disturb := func(i int) {
+		if i == nSpecs/3 {
+			// Join the fourth worker through the membership API.
+			body := fmt.Sprintf(`{"url": %q}`, wD.URL)
+			resp, err := http.Post(coordTS.URL+"/v1/cluster/workers", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("join: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("join: %s", resp.Status)
+			}
+		}
+		if i == nSpecs/2 {
+			once.Do(func() {
+				// Kill worker C abruptly, then deregister it mid-soak.
+				tsC.Close()
+				req, _ := http.NewRequest(http.MethodDelete,
+					coordTS.URL+"/v1/cluster/workers?url="+pC, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+			})
+		}
+	}
+
+	got := soakFleet(t, coordTS.URL, nSpecs, 60*time.Second, disturb)
+
+	// Zero divergent duplicates: every digest resolved to one hash.
+	for digest, sums := range got {
+		if len(sums) != 1 {
+			t.Errorf("digest %.12s… has %d distinct result hashes", digest, len(sums))
+		}
+	}
+	// Byte-identical to the undisturbed reference, digest for digest.
+	if len(got) != len(ref) {
+		t.Fatalf("digest table size %d, reference %d", len(got), len(ref))
+	}
+	for digest, sums := range ref {
+		gsums, ok := got[digest]
+		if !ok {
+			t.Errorf("digest %.12s… missing from churn fleet", digest)
+			continue
+		}
+		for s := range sums {
+			if !gsums[s] {
+				t.Errorf("digest %.12s… diverged from reference", digest)
+			}
+		}
+	}
+	// The soak must have exercised the machinery it claims to gate.
+	if coord.met.breakerTransitionCount("") == 0 {
+		t.Log("note: no breaker transitions during soak (chaos may have been mild)")
+	}
+}
+
+// TestFlappingProbeCausesNoRouteChurn: with default breaker thresholds
+// a worker whose /healthz drops every third probe never leaves
+// rotation — the one-strike eviction the breaker was built to stop.
+func TestFlappingProbeCausesNoRouteChurn(t *testing.T) {
+	var calls atomic.Int64
+	inner, innerTS := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(&calls)})
+	_ = inner
+
+	// Flaky health front: every 3rd /healthz 500s, everything else is
+	// proxied through untouched.
+	innerURL, err := url.Parse(innerTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(innerURL)
+	var probes atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && probes.Add(1)%3 == 0 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	coord, coordTS := newCoord(t, []string{flaky.URL}, func(cfg *Config) {
+		cfg.ProbeInterval = 10 * time.Millisecond // default breaker thresholds
+	})
+
+	// Let ~30 probes happen; the breaker must never open.
+	time.Sleep(300 * time.Millisecond)
+	if n := coord.met.breakerTransitionCount(""); n != 0 {
+		t.Fatalf("flapping probe caused %d breaker transitions with default thresholds", n)
+	}
+	sub := submit(t, coordTS.URL, "/v1/runs", churnSpec(1))
+	if v := await(t, coordTS.URL, sub.ID, 10*time.Second); v.Status != "done" {
+		t.Fatalf("run on flapping-probe worker: %+v", v)
+	}
+}
+
+// TestMembershipAPIAndLeaseExpiry covers the HTTP membership protocol:
+// join validation, lease-carrying views, sweeper expiry, and leave.
+func TestMembershipAPIAndLeaseExpiry(t *testing.T) {
+	_, w1 := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+	_, w2 := newWorker(t, serve.Config{Workers: 2, Simulate: pureRun(nil)})
+
+	_, coordTS := newCoord(t, []string{w1.URL}, func(cfg *Config) {
+		cfg.LeaseSweepInterval = 10 * time.Millisecond
+	})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(coordTS.URL+"/v1/cluster/workers", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Join validation.
+	if resp := post(`{"url": "not-a-url"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad URL join: %s", resp.Status)
+	}
+	if resp := post(`{"url": "http://x", "ttl_ms": -5}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative TTL join: %s", resp.Status)
+	}
+
+	// Leased join appears in the fleet view with its lease.
+	if resp := post(fmt.Sprintf(`{"url": %q, "ttl_ms": 150}`, w2.URL)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("join: %s", resp.Status)
+	}
+	// Renewal answers 200, not 201.
+	if resp := post(fmt.Sprintf(`{"url": %q, "ttl_ms": 150}`, w2.URL)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("renewal: %s", resp.Status)
+	}
+
+	workers := func() []map[string]any {
+		t.Helper()
+		resp, err := http.Get(coordTS.URL + "/v1/cluster/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v struct {
+			Workers []map[string]any `json:"workers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.Workers
+	}
+
+	ws := workers()
+	if len(ws) != 2 {
+		t.Fatalf("fleet view has %d workers, want 2", len(ws))
+	}
+	var leased map[string]any
+	for _, w := range ws {
+		if w["url"] == w2.URL {
+			leased = w
+		}
+	}
+	if leased == nil {
+		t.Fatalf("joined worker missing from view: %v", ws)
+	}
+	if leased["source"] != "lease" {
+		t.Fatalf("joined worker source %v, want lease", leased["source"])
+	}
+	if exp, ok := leased["lease_expires_ms"].(float64); !ok || exp <= 0 {
+		t.Fatalf("joined worker lease_expires_ms %v", leased["lease_expires_ms"])
+	}
+
+	// Unrenewed, the lease lapses and the sweeper removes the worker.
+	deadline := time.Now().Add(3 * time.Second)
+	for len(workers()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leased worker never expired: %v", workers())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Leave: unknown URL 404s, a member leaves cleanly.
+	del := func(u string) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, coordTS.URL+"/v1/cluster/workers?url="+u, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del("http://nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown leave: %d", code)
+	}
+	if code := del(w1.URL); code != http.StatusOK {
+		t.Fatalf("leave: %d", code)
+	}
+	if n := len(workers()); n != 0 {
+		t.Fatalf("fleet not empty after leave: %d", n)
+	}
+
+	// Membership metrics made it to the scrape.
+	resp, err := http.Get(coordTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if !strings.Contains(buf.String(), "dike_cluster_membership_changes_total") {
+		t.Fatal("membership metrics missing from /metrics")
+	}
+}

@@ -34,8 +34,24 @@ import (
 
 // Config parameterises a Coordinator.
 type Config struct {
-	// Workers is the static fleet: dikeserved base URLs. Required.
+	// Workers is the initial fleet: dikeserved base URLs. May be empty —
+	// membership is dynamic, and workers can join at runtime via
+	// POST /v1/cluster/workers or self-registration leases.
 	Workers []string
+	// Breaker shapes every worker's health circuit breaker (down-after-N
+	// failures, up-after-M successes, open-for cooldown). Zero values
+	// take the BreakerConfig defaults.
+	Breaker BreakerConfig
+	// MaxInflightPerWorker is the load-aware spillover threshold: a
+	// placement skips a worker already running this many coordinator
+	// placements and routes to the next ring preference instead (if
+	// every candidate is saturated, the least-loaded one is used).
+	// Default 32; negative disables spillover.
+	MaxInflightPerWorker int
+	// LeaseSweepInterval is how often expired membership leases are
+	// collected. Default 1s; negative disables sweeping (leases then
+	// only expire when membership is next mutated).
+	LeaseSweepInterval time.Duration
 	// ProbeInterval is the /healthz probing period. Default 2s;
 	// negative disables probing (health then changes only passively,
 	// on request failures).
@@ -88,9 +104,16 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = 2 * time.Second
 	}
+	if c.MaxInflightPerWorker == 0 {
+		c.MaxInflightPerWorker = 32
+	}
+	if c.LeaseSweepInterval == 0 {
+		c.LeaseSweepInterval = time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
+	c.Breaker = c.Breaker.withDefaults()
 	return c
 }
 
@@ -99,10 +122,17 @@ func (c Config) withDefaults() Config {
 type Coordinator struct {
 	cfg    Config
 	reg    *registry
-	ring   *Ring
 	met    *metrics
 	client *http.Client
 	mux    *http.ServeMux
+
+	// ringMu guards ring, which is rebuilt from scratch on every
+	// membership change. Rebuilding (not patching) keeps the minimal-
+	// remap property trivially correct: the ring is a pure function of
+	// the member set, and the ring tests prove that removing a member
+	// only remaps the keys it owned.
+	ringMu sync.RWMutex
+	ring   *Ring
 
 	// baseCtx parents every job; closing it hard-cancels all drive
 	// goroutines (used only after a drain deadline).
@@ -116,8 +146,9 @@ type Coordinator struct {
 	draining bool
 	started  bool
 
-	wg         sync.WaitGroup // drive goroutines
-	proberDone chan struct{}  // closed when the prober exits; nil if never started
+	wg          sync.WaitGroup // drive goroutines
+	proberDone  chan struct{}  // closed when the prober exits; nil if never started
+	sweeperDone chan struct{}  // closed when the lease sweeper exits; nil if never started
 
 	jmu    sync.Mutex
 	jitter *rand.Rand
@@ -126,14 +157,14 @@ type Coordinator struct {
 // New builds a Coordinator over the configured fleet.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
-	ring, err := NewRing(cfg.Workers)
+	ring, err := buildRing(cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:        cfg,
-		reg:        newRegistry(cfg.Workers),
+		reg:        newRegistry(cfg.Workers, cfg.Breaker),
 		ring:       ring,
 		met:        newClusterMetrics(),
 		client:     cfg.Client,
@@ -142,6 +173,13 @@ func New(cfg Config) (*Coordinator, error) {
 		jobs:       make(map[string]*cjob),
 		jitter:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	c.reg.onTransition = func(url string, to breakerState) {
+		c.met.breakerTransition(url, to.String())
+	}
+	c.reg.onMembership = func(op string, members []string) {
+		c.met.membershipChange(op)
+		c.rebuildRing(members)
+	}
 	c.met.gauges = func() (int, int, int) {
 		healthy, total := c.reg.counts()
 		c.mu.Lock()
@@ -149,6 +187,7 @@ func New(cfg Config) (*Coordinator, error) {
 		c.mu.Unlock()
 		return healthy, total, inflight
 	}
+	c.met.breakerStates = c.reg.states
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/runs", c.handleSubmitRun)
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleSubmitSweep)
@@ -158,12 +197,14 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("DELETE /v1/runs/{id}", c.handleCancelJob)
 	c.mux.HandleFunc("GET /v1/runs/{id}/events", c.handleEvents)
 	c.mux.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)
+	c.mux.HandleFunc("POST /v1/cluster/workers", c.handleJoinWorker)
+	c.mux.HandleFunc("DELETE /v1/cluster/workers", c.handleLeaveWorker)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return c, nil
 }
 
-// Start launches the health prober. Idempotent.
+// Start launches the health prober and the lease sweeper. Idempotent.
 func (c *Coordinator) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -171,6 +212,22 @@ func (c *Coordinator) Start() {
 		return
 	}
 	c.started = true
+	if c.cfg.LeaseSweepInterval > 0 {
+		c.sweeperDone = make(chan struct{})
+		go func() {
+			defer close(c.sweeperDone)
+			ticker := time.NewTicker(c.cfg.LeaseSweepInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					c.reg.expireLeases(time.Now())
+				case <-c.baseCtx.Done():
+					return
+				}
+			}
+		}()
+	}
 	if c.cfg.ProbeInterval < 0 {
 		return
 	}
@@ -191,6 +248,41 @@ func (c *Coordinator) Start() {
 			}
 		}
 	}()
+}
+
+// buildRing constructs a ring over members; an empty member set yields
+// an empty ring (every Order is empty and placements fail fast) rather
+// than an error — a dynamic fleet may legitimately pass through zero.
+func buildRing(members []string) (*Ring, error) {
+	if len(members) == 0 {
+		return &Ring{}, nil
+	}
+	return NewRing(members)
+}
+
+// rebuildRing swaps in a fresh ring over the new member set.
+func (c *Coordinator) rebuildRing(members []string) {
+	ring, err := buildRing(members)
+	if err != nil {
+		return // unreachable: the registry never produces duplicates
+	}
+	c.ringMu.Lock()
+	c.ring = ring
+	c.ringMu.Unlock()
+}
+
+// ringOrder returns the current ring's preference order for key.
+func (c *Coordinator) ringOrder(key string) []string {
+	c.ringMu.RLock()
+	defer c.ringMu.RUnlock()
+	return c.ring.Order(key)
+}
+
+// ringMembers returns the current ring's member list.
+func (c *Coordinator) ringMembers() []string {
+	c.ringMu.RLock()
+	defer c.ringMu.RUnlock()
+	return c.ring.Members()
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -219,6 +311,7 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Lock()
 	c.draining = true
 	proberDone := c.proberDone
+	sweeperDone := c.sweeperDone
 	c.mu.Unlock()
 
 	done := make(chan struct{})
@@ -238,6 +331,9 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	<-done
 	if proberDone != nil {
 		<-proberDone
+	}
+	if sweeperDone != nil {
+		<-sweeperDone
 	}
 	return err
 }

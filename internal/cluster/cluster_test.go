@@ -228,7 +228,12 @@ func TestWorkerKilledMidSweepReroutes(t *testing.T) {
 		return out, ctx.Err()
 	}})
 	_, tsB := newWorker(t, serve.Config{Workers: 2, SweepShard: stubShard(&callsB)})
-	c, coord := newCoord(t, []string{tsA.URL, tsB.URL}, nil)
+	// One-strike breaker: this test asserts the kill is reflected in the
+	// fleet view after a single failed poll; gentler thresholds are
+	// covered by the breaker tests.
+	c, coord := newCoord(t, []string{tsA.URL, tsB.URL}, func(cfg *Config) {
+		cfg.Breaker = BreakerConfig{DownAfter: 1, UpAfter: 1, OpenFor: time.Minute}
+	})
 
 	sub := submit(t, coord.URL, "/v1/sweeps", `{"workload": 1, "seed": 9, "scale": 0.05}`)
 

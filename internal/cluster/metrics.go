@@ -58,16 +58,32 @@ type metrics struct {
 	// shardLatency histograms successful shard round-trips (submit
 	// through terminal poll), seconds.
 	shardLatency histogram
+	// breakerTransitions counts circuit-breaker state changes, per
+	// worker and target state — the number a soak asserts stays at zero
+	// when a single probe flaps.
+	breakerTransitions map[string]map[string]uint64
+	// membershipChanges counts fleet mutations by op (join/leave/expire).
+	membershipChanges map[string]uint64
+	// spillovers counts placements that skipped a saturated worker.
+	spillovers uint64
+	// abandonedCancels counts best-effort DELETEs fired at workers whose
+	// placements the coordinator gave up on mid-flight.
+	abandonedCancels uint64
 
 	// gauges samples live fleet state at scrape time.
 	gauges func() (healthy, total, inflight int)
+	// breakerStates samples per-worker breaker positions and inflight
+	// counts at scrape time (must not call back into metrics).
+	breakerStates func() (states map[string]string, inflight map[string]int)
 }
 
 func newClusterMetrics() *metrics {
 	return &metrics{
-		workerRequests: make(map[string]uint64),
-		workerFailures: make(map[string]uint64),
-		jobsTotal:      make(map[string]uint64),
+		workerRequests:     make(map[string]uint64),
+		workerFailures:     make(map[string]uint64),
+		jobsTotal:          make(map[string]uint64),
+		breakerTransitions: make(map[string]map[string]uint64),
+		membershipChanges:  make(map[string]uint64),
 	}
 }
 
@@ -106,11 +122,56 @@ func (m *metrics) shardDone(seconds float64) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) breakerTransition(worker, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byTo := m.breakerTransitions[worker]
+	if byTo == nil {
+		byTo = make(map[string]uint64)
+		m.breakerTransitions[worker] = byTo
+	}
+	byTo[to]++
+}
+
+func (m *metrics) membershipChange(op string) {
+	m.mu.Lock()
+	m.membershipChanges[op]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) spillover() {
+	m.mu.Lock()
+	m.spillovers++
+	m.mu.Unlock()
+}
+
+func (m *metrics) abandonedCancel() {
+	m.mu.Lock()
+	m.abandonedCancels++
+	m.mu.Unlock()
+}
+
 // snapshot returns selected counters for tests.
 func (m *metrics) snapshot() (primary, rerouted, retries uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ringPrimary, m.ringRerouted, m.retries
+}
+
+// breakerTransitionCount sums transitions into `to` across the fleet
+// (for tests; "" sums every transition).
+func (m *metrics) breakerTransitionCount(to string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, byTo := range m.breakerTransitions {
+		for t, c := range byTo {
+			if to == "" || t == to {
+				n += c
+			}
+		}
+	}
+	return n
 }
 
 func (m *metrics) requestsFor(worker string) uint64 {
@@ -161,6 +222,35 @@ func (m *metrics) writeTo(w io.Writer) error {
 	for _, url := range sortedKeys(m.workerFailures) {
 		app("dike_cluster_worker_failures_total{worker=%q} %d\n", url, m.workerFailures[url])
 	}
+
+	app("# HELP dike_cluster_breaker_state Per-worker circuit-breaker position (0 closed, 1 half-open, 2 open).\n# TYPE dike_cluster_breaker_state gauge\n")
+	if m.breakerStates != nil {
+		states, inflight := m.breakerStates()
+		code := map[string]int{"closed": 0, "half-open": 1, "open": 2}
+		for _, url := range sortedKeys(states) {
+			app("dike_cluster_breaker_state{worker=%q} %d\n", url, code[states[url]])
+		}
+		app("# HELP dike_cluster_worker_inflight Coordinator placements currently running on each worker.\n# TYPE dike_cluster_worker_inflight gauge\n")
+		for _, url := range sortedKeys(inflight) {
+			app("dike_cluster_worker_inflight{worker=%q} %d\n", url, inflight[url])
+		}
+	}
+
+	app("# HELP dike_cluster_breaker_transitions_total Circuit-breaker state changes, per worker and target state.\n# TYPE dike_cluster_breaker_transitions_total counter\n")
+	for _, url := range sortedKeys(m.breakerTransitions) {
+		byTo := m.breakerTransitions[url]
+		for _, to := range sortedKeys(byTo) {
+			app("dike_cluster_breaker_transitions_total{worker=%q,to=%q} %d\n", url, to, byTo[to])
+		}
+	}
+
+	app("# HELP dike_cluster_membership_changes_total Fleet membership mutations, by op.\n# TYPE dike_cluster_membership_changes_total counter\n")
+	for _, op := range sortedKeys(m.membershipChanges) {
+		app("dike_cluster_membership_changes_total{op=%q} %d\n", op, m.membershipChanges[op])
+	}
+
+	app("# HELP dike_cluster_spillover_total Placements that routed around a saturated worker.\n# TYPE dike_cluster_spillover_total counter\ndike_cluster_spillover_total %d\n", m.spillovers)
+	app("# HELP dike_cluster_abandoned_cancels_total Best-effort cancels sent for abandoned placements.\n# TYPE dike_cluster_abandoned_cancels_total counter\ndike_cluster_abandoned_cancels_total %d\n", m.abandonedCancels)
 
 	app("# HELP dike_cluster_retries_total Re-route attempts beyond each job's first placement.\n# TYPE dike_cluster_retries_total counter\ndike_cluster_retries_total %d\n", m.retries)
 	app("# HELP dike_cluster_ring_primary_total Placements that landed on the key's ring owner.\n# TYPE dike_cluster_ring_primary_total counter\ndike_cluster_ring_primary_total %d\n", m.ringPrimary)

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionTable drives the per-worker state machine
+// through its full transition table with injected time: closed opens
+// after DownAfter consecutive failures, open lazily half-opens after
+// OpenFor, half-open closes after UpAfter successes and re-opens on a
+// single failure, and an open breaker promoted by a probe success goes
+// straight to half-open.
+func TestBreakerTransitionTable(t *testing.T) {
+	cfg := BreakerConfig{DownAfter: 3, UpAfter: 2, OpenFor: time.Minute}
+	t0 := time.Unix(1000, 0)
+
+	type step struct {
+		event string // "ok", "fail", or "tick:<dur>"
+		want  breakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed-absorbs-sub-threshold-failures", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed},
+			{"ok", breakerClosed}, // success resets the streak
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+		}},
+		{"open-after-downafter-consecutive", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+			{"fail", breakerOpen}, // extra failures keep it open
+		}},
+		{"open-lazily-half-opens-after-openfor", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+			{"tick:30s", breakerOpen},
+			{"tick:61s", breakerHalfOpen},
+		}},
+		{"probe-success-skips-openfor", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+			{"ok", breakerHalfOpen}, // first success: probation, not closed
+			{"ok", breakerClosed},   // UpAfter=2 reached
+		}},
+		{"half-open-failure-reopens", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+			{"ok", breakerHalfOpen},
+			{"fail", breakerOpen}, // one failed trial ends probation
+		}},
+		{"half-open-needs-upafter-successes", []step{
+			{"fail", breakerClosed}, {"fail", breakerClosed}, {"fail", breakerOpen},
+			{"tick:61s", breakerHalfOpen},
+			{"ok", breakerHalfOpen},
+			{"ok", breakerClosed},
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := &breaker{cfg: cfg.withDefaults()}
+			now := t0
+			for i, s := range tc.steps {
+				switch {
+				case s.event == "ok":
+					b.onSuccess()
+				case s.event == "fail":
+					b.onFailure(now)
+				default: // tick:<dur> advances the injected clock
+					d, err := time.ParseDuration(s.event[len("tick:"):])
+					if err != nil {
+						t.Fatalf("bad step %q: %v", s.event, err)
+					}
+					now = t0.Add(d)
+					b.current(now)
+				}
+				if got, _ := b.current(now); got != s.want {
+					t.Fatalf("step %d (%s): state %v want %v", i, s.event, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerUpAfterOneClosesOnProbe: with UpAfter=1 an open breaker
+// closes on the first successful observation, skipping probation —
+// the one-strike-up semantics the killed-worker test relies on.
+func TestBreakerUpAfterOneClosesOnProbe(t *testing.T) {
+	b := &breaker{cfg: BreakerConfig{DownAfter: 1, UpAfter: 1, OpenFor: time.Minute}.withDefaults()}
+	now := time.Unix(1000, 0)
+	b.onFailure(now)
+	if st, _ := b.current(now); st != breakerOpen {
+		t.Fatalf("DownAfter=1 did not open on first failure: %v", st)
+	}
+	b.onSuccess()
+	if st, _ := b.current(now); st != breakerClosed {
+		t.Fatalf("UpAfter=1 did not close on first success: %v", st)
+	}
+}
+
+// TestRegistryObserveSeparatesProbeFromChange: lastProbe advances on
+// every observation, lastChange only on breaker transitions — the
+// fleet-view fix for a long-stable worker looking unprobed.
+func TestRegistryObserveSeparatesProbeFromChange(t *testing.T) {
+	r := newRegistry([]string{"http://w1"}, BreakerConfig{DownAfter: 3, UpAfter: 2, OpenFor: time.Minute})
+
+	views := func() map[string]struct{ probe, change int64 } {
+		out := make(map[string]struct{ probe, change int64 })
+		for _, v := range r.views(func(string) uint64 { return 0 }, func(string) uint64 { return 0 }) {
+			out[v.URL] = struct{ probe, change int64 }{v.LastProbeMs, v.LastChangeMs}
+		}
+		return out
+	}
+
+	if v := views()["http://w1"]; v.probe != -1 {
+		t.Fatalf("never-observed worker should report LastProbeMs=-1, got %d", v.probe)
+	}
+
+	w := r.get("http://w1")
+	// Backdate the change clock, then observe a success that causes no
+	// transition: probe must be fresh, change must stay old.
+	w.mu.Lock()
+	w.lastChange = time.Now().Add(-10 * time.Second)
+	w.mu.Unlock()
+	r.observe("http://w1", true, "")
+	v := views()["http://w1"]
+	if v.probe < 0 || v.probe > 1000 {
+		t.Fatalf("LastProbeMs not refreshed by observation: %d", v.probe)
+	}
+	if v.change < 9000 {
+		t.Fatalf("LastChangeMs moved without a transition: %d", v.change)
+	}
+
+	// Three failures transition closed→open: now the change clock resets.
+	for i := 0; i < 3; i++ {
+		r.observe("http://w1", false, "boom")
+	}
+	v = views()["http://w1"]
+	if v.change < 0 || v.change > 1000 {
+		t.Fatalf("LastChangeMs not reset by transition: %d", v.change)
+	}
+	if r.routable("http://w1") {
+		t.Fatal("open worker still routable")
+	}
+}
+
+// TestRegistryMembership covers join/renew/leave/expire and the
+// onMembership hook contract (fires outside r.mu with the new list).
+func TestRegistryMembership(t *testing.T) {
+	r := newRegistry([]string{"http://static"}, BreakerConfig{})
+	var mu sync.Mutex
+	var ops []string
+	var lastMembers []string
+	r.onMembership = func(op string, members []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		ops = append(ops, op)
+		lastMembers = members
+	}
+
+	if !r.add("http://leased", 50*time.Millisecond, "lease") {
+		t.Fatal("new lease join reported not-added")
+	}
+	if r.add("http://leased", 50*time.Millisecond, "lease") {
+		t.Fatal("renewal reported as a new join")
+	}
+	if !r.add("http://api", 0, "api") {
+		t.Fatal("api join reported not-added")
+	}
+	if got, total := r.counts(); total != 3 || got != 3 {
+		t.Fatalf("counts = (%d,%d), want (3,3)", got, total)
+	}
+
+	// Expiry with a fresh lease: nothing lapses.
+	if exp := r.expireLeases(time.Now()); exp != nil {
+		t.Fatalf("fresh lease expired: %v", exp)
+	}
+	// Past the TTL the leased worker lapses; static and api stay.
+	exp := r.expireLeases(time.Now().Add(time.Second))
+	if len(exp) != 1 || exp[0] != "http://leased" {
+		t.Fatalf("expire = %v, want [http://leased]", exp)
+	}
+	if !r.remove("http://api") {
+		t.Fatal("remove of member failed")
+	}
+	if r.remove("http://api") {
+		t.Fatal("double remove succeeded")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantOps := []string{"join", "join", "expire", "leave"}
+	if len(ops) != len(wantOps) {
+		t.Fatalf("membership ops %v, want %v", ops, wantOps)
+	}
+	for i := range wantOps {
+		if ops[i] != wantOps[i] {
+			t.Fatalf("membership ops %v, want %v", ops, wantOps)
+		}
+	}
+	if len(lastMembers) != 1 || lastMembers[0] != "http://static" {
+		t.Fatalf("final members %v, want [http://static]", lastMembers)
+	}
+}
+
+// TestRegistryLeaseRenewalExtends: a renewal pushes the expiry out, an
+// api re-join with ttl=0 pins the membership permanently.
+func TestRegistryLeaseRenewalExtends(t *testing.T) {
+	r := newRegistry(nil, BreakerConfig{})
+	r.add("http://w", 20*time.Millisecond, "lease")
+	// Renew with a much longer TTL; the old deadline must not fire.
+	r.add("http://w", time.Minute, "lease")
+	if exp := r.expireLeases(time.Now().Add(time.Second)); exp != nil {
+		t.Fatalf("renewed lease expired: %v", exp)
+	}
+	// An explicit TTL-less api join makes it permanent.
+	r.add("http://w", 0, "api")
+	if exp := r.expireLeases(time.Now().Add(24 * time.Hour)); exp != nil {
+		t.Fatalf("pinned membership expired: %v", exp)
+	}
+}
+
+// TestRegistryConcurrentAccess hammers every registry entry point from
+// concurrent goroutines; the -race CI step turns any locking mistake
+// into a failure.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := newRegistry([]string{"http://w1", "http://w2"}, BreakerConfig{DownAfter: 2, UpAfter: 1, OpenFor: time.Millisecond})
+	r.onMembership = func(string, []string) {}
+	r.onTransition = func(string, breakerState) {}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://dyn%d", g%4)
+			for i := 0; i < 200; i++ {
+				switch i % 8 {
+				case 0:
+					r.add(url, time.Duration(i%3)*time.Millisecond, "lease")
+				case 1:
+					r.observe("http://w1", i%3 == 0, "x")
+				case 2:
+					r.acquire("http://w2")
+					r.release("http://w2")
+				case 3:
+					r.views(func(string) uint64 { return 0 }, func(string) uint64 { return 0 })
+				case 4:
+					r.states()
+				case 5:
+					r.expireLeases(time.Now())
+				case 6:
+					r.remove(url)
+				default:
+					r.counts()
+					r.routable("http://w1")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The static members must have survived the churn.
+	if !r.routable("http://w2") {
+		t.Fatal("static worker w2 lost routability without failures")
+	}
+	if _, total := r.counts(); total < 2 {
+		t.Fatalf("static members lost: total=%d", total)
+	}
+}

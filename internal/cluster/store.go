@@ -28,8 +28,8 @@ func (c *Coordinator) handleLookupRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusBadRequest, errors.New("cluster: lookup requires ?digest="))
 		return
 	}
-	for _, worker := range c.ring.Order(digest) {
-		if !c.reg.isHealthy(worker) {
+	for _, worker := range c.ringOrder(digest) {
+		if !c.reg.routable(worker) {
 			continue
 		}
 		res, err := c.lookupOn(r.Context(), worker, digest)
@@ -53,7 +53,7 @@ func (c *Coordinator) lookupOn(ctx context.Context, worker, digest string) (api.
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.reg.markDown(worker, err.Error())
+		c.reg.observe(worker, false, err.Error())
 		return api.StoredResult{}, err
 	}
 	defer resp.Body.Close()
@@ -88,7 +88,7 @@ type ClusterStoreStats struct {
 // fleet's store counters, one entry per configured worker, queried
 // concurrently.
 func (c *Coordinator) handleStoreStats(w http.ResponseWriter, r *http.Request) {
-	workers := c.ring.Members()
+	workers := c.ringMembers()
 	out := make([]WorkerStoreStats, len(workers))
 	var wg sync.WaitGroup
 	for i, worker := range workers {

@@ -49,7 +49,11 @@ type placement struct {
 // callWorker submits body to worker at path and polls the resulting job
 // to a terminal state. It returns a retryableError for failures that
 // merit another worker, and abandons the poll (re-routable) if the
-// registry marks the worker down mid-flight.
+// worker's breaker opens or it leaves the fleet mid-flight. Whenever a
+// placement is abandoned after a successful submit, the job keeps
+// running on the worker — so a best-effort DELETE is fired at it,
+// otherwise the orphan burns a worker slot and can collide with the
+// re-routed duplicate.
 func (c *Coordinator) callWorker(ctx context.Context, worker, path string, body []byte) (api.JobView, error) {
 	sub, err := c.postSubmit(ctx, worker, path, body)
 	if err != nil {
@@ -60,20 +64,45 @@ func (c *Coordinator) callWorker(ctx context.Context, worker, path string, body 
 	for {
 		view, err := c.getJob(ctx, worker, sub.ID)
 		if err != nil {
+			c.cancelAbandoned(worker, sub.ID)
 			return api.JobView{}, err
 		}
 		if api.Terminal(view.Status) {
 			return view, nil
 		}
-		if !c.reg.isHealthy(worker) {
+		if !c.reg.routable(worker) {
+			c.cancelAbandoned(worker, sub.ID)
 			return api.JobView{}, errWorkerDown
 		}
 		select {
 		case <-ticker.C:
 		case <-ctx.Done():
+			c.cancelAbandoned(worker, sub.ID)
 			return api.JobView{}, &retryableError{fmt.Errorf("cluster: placement on %s: %w", worker, ctx.Err())}
 		}
 	}
+}
+
+// cancelAbandoned fires a best-effort DELETE /v1/runs/{id} at a worker
+// whose placement the coordinator is giving up on. Detached from the
+// placement's context (which is typically already dead) and strictly
+// fire-and-forget: the worker may itself be gone, and that's fine —
+// content-addressed jobs make the re-routed duplicate safe either way.
+func (c *Coordinator) cancelAbandoned(worker, id string) {
+	c.met.abandonedCancel()
+	go func() {
+		cctx, cancel := context.WithTimeout(context.Background(), c.cfg.SubmitTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(cctx, http.MethodDelete, worker+"/v1/runs/"+id, nil)
+		if err != nil {
+			return
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+	}()
 }
 
 // postSubmit performs the submission POST.
@@ -87,21 +116,22 @@ func (c *Coordinator) postSubmit(ctx context.Context, worker, path string, body 
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.reg.markDown(worker, err.Error())
+		c.reg.observe(worker, false, err.Error())
 		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: submit to %s: %w", worker, err)}
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	switch {
 	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		c.reg.observe(worker, true, "")
 	case resp.StatusCode == http.StatusTooManyRequests:
 		// Backpressure: the worker is healthy but full. Retry (after
-		// backoff) without marking it down.
+		// backoff) without counting a breaker failure.
 		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: %s backpressured: %s", worker, strings.TrimSpace(string(raw)))}
 	case resp.StatusCode >= 500:
-		// 503 draining or another server-side failure: treat like an
-		// unreachable worker.
-		c.reg.markDown(worker, resp.Status)
+		// 503 draining or another server-side failure: a breaker failure
+		// (DownAfter of them in a row open the breaker).
+		c.reg.observe(worker, false, resp.Status)
 		return api.SubmitResponse{}, &retryableError{fmt.Errorf("cluster: submit to %s: %s", worker, resp.Status)}
 	default:
 		// 4xx: the request itself is bad; every worker would refuse it.
@@ -124,14 +154,15 @@ func (c *Coordinator) getJob(ctx context.Context, worker, id string) (api.JobVie
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.reg.markDown(worker, err.Error())
+		c.reg.observe(worker, false, err.Error())
 		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %w", worker, err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		c.reg.markDown(worker, "poll: "+resp.Status)
+		c.reg.observe(worker, false, "poll: "+resp.Status)
 		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %s", worker, resp.Status)}
 	}
+	c.reg.observe(worker, true, "")
 	var view api.JobView
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		return api.JobView{}, &retryableError{fmt.Errorf("cluster: poll %s: %w", worker, err)}
@@ -140,12 +171,17 @@ func (c *Coordinator) getJob(ctx context.Context, worker, id string) (api.JobVie
 }
 
 // place runs the full retry loop for one unit of work (a run or a
-// shard): walk healthy workers in the ring's preference order for key,
+// shard): walk routable workers in the ring's preference order for key,
 // with capped exponential backoff plus jitter between attempts, until
-// the retry budget is spent. Every failed attempt is recorded with its
-// worker so the caller can attribute the failure.
+// the retry budget is spent. The attempted set is tracked per placement
+// — the routable set is recomputed each try (workers churn mid-
+// placement), so indexing it by try number could retry a failed worker
+// while skipping an untried one; preferring never-attempted workers
+// cannot. Every failed attempt is recorded with its worker so the
+// caller can attribute the failure.
 func (c *Coordinator) place(ctx context.Context, pref []string, path string, body []byte) (placement, error) {
 	var attempts []string
+	attempted := make(map[string]int, len(pref))
 	for try := 0; try < c.cfg.RetryBudget; try++ {
 		if err := ctx.Err(); err != nil {
 			return placement{}, err
@@ -154,18 +190,21 @@ func (c *Coordinator) place(ctx context.Context, pref []string, path string, bod
 			c.met.retry()
 			c.backoff(ctx, try)
 		}
-		worker, ok := c.pickWorker(pref, try)
+		worker, ok := c.pickWorker(pref, attempted)
 		if !ok {
 			attempts = append(attempts, fmt.Sprintf("attempt %d: %v", try+1, errNoHealthyWorkers))
 			// Nothing to route to: fail fast rather than spin out the
 			// whole budget against an empty fleet.
 			break
 		}
-		c.met.placement(worker, worker == pref[0])
+		attempted[worker]++
+		c.met.placement(worker, len(pref) > 0 && worker == pref[0])
+		c.reg.acquire(worker)
 		actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 		start := time.Now()
 		view, err := c.callWorker(actx, worker, path, body)
 		cancel()
+		c.reg.release(worker)
 		if err == nil {
 			c.met.shardDone(time.Since(start).Seconds())
 			return placement{view: view, worker: worker}, nil
@@ -182,18 +221,60 @@ func (c *Coordinator) place(ctx context.Context, pref []string, path string, bod
 	return placement{}, errors.New(strings.Join(attempts, "; "))
 }
 
-// pickWorker returns the try-th healthy worker in preference order.
-func (c *Coordinator) pickWorker(pref []string, try int) (string, bool) {
-	var healthy []string
-	for _, w := range pref {
-		if c.reg.isHealthy(w) {
-			healthy = append(healthy, w)
-		}
+// pickWorker selects the next worker for a placement: the first
+// routable worker in preference order that has not been attempted yet,
+// with load-aware spillover (a worker at or past MaxInflightPerWorker
+// is skipped while a less-loaded candidate exists, and a half-open
+// worker admits only a single trial at a time). When every routable
+// worker has already been attempted, the least-attempted one is reused
+// — a 429-backpressured single-worker fleet must still be retryable.
+func (c *Coordinator) pickWorker(pref []string, attempted map[string]int) (string, bool) {
+	type candidate struct {
+		url      string
+		inflight int
+		tries    int
 	}
-	if len(healthy) == 0 {
+	var routable []candidate
+	for _, w := range pref {
+		state, inflight, member := c.reg.stateOf(w)
+		if !member || state == breakerOpen {
+			continue
+		}
+		if state == breakerHalfOpen && inflight > 0 {
+			continue // probation admits one trial at a time
+		}
+		routable = append(routable, candidate{url: w, inflight: inflight, tries: attempted[w]})
+	}
+	if len(routable) == 0 {
 		return "", false
 	}
-	return healthy[try%len(healthy)], true
+	// Fresh workers first, in preference order, spilling over saturated
+	// ones while an unsaturated fresh candidate exists.
+	max := c.cfg.MaxInflightPerWorker
+	spilled := false
+	for _, cand := range routable {
+		if cand.tries > 0 {
+			continue
+		}
+		if max > 0 && cand.inflight >= max {
+			spilled = true
+			continue
+		}
+		if spilled {
+			c.met.spillover()
+		}
+		return cand.url, true
+	}
+	// Everyone fresh was saturated, or everyone has been attempted:
+	// take the least-attempted, least-loaded candidate (preference
+	// order breaks ties via stable selection).
+	best := routable[0]
+	for _, cand := range routable[1:] {
+		if cand.tries < best.tries || (cand.tries == best.tries && cand.inflight < best.inflight) {
+			best = cand
+		}
+	}
+	return best.url, true
 }
 
 // driveRun executes one run job: route by digest, place with retries,
@@ -205,7 +286,7 @@ func (c *Coordinator) driveRun(j *cjob, req api.RunRequest, digest string) {
 		j.finish(api.StatusFailed, nil, "cluster: marshal run request: "+err.Error())
 		return
 	}
-	pl, err := c.place(j.ctx, c.ring.Order(digest), "/v1/runs", body)
+	pl, err := c.place(j.ctx, c.ringOrder(digest), "/v1/runs", body)
 	if err != nil {
 		c.finishErr(j, err)
 		return
@@ -241,7 +322,7 @@ func (c *Coordinator) driveSweep(j *cjob, rs serve.ResolvedSweep) {
 		}
 	}
 
-	// Group grid points by the first healthy worker in each point's
+	// Group grid points by the first routable worker in each point's
 	// ring preference (falling back to the owner when the whole fleet
 	// is down — the placement will then fail fast with attribution).
 	prefs := make(map[int][]string, len(indices))
@@ -252,10 +333,13 @@ func (c *Coordinator) driveSweep(j *cjob, rs serve.ResolvedSweep) {
 			j.finish(api.StatusFailed, nil, fmt.Sprintf("cluster: digest grid point %d: %v", idx, err))
 			return
 		}
-		pref := c.ring.Order(d)
+		pref := c.ringOrder(d)
 		prefs[idx] = pref
-		owner := pref[0]
-		if w, ok := c.pickWorker(pref, 0); ok {
+		owner := ""
+		if len(pref) > 0 {
+			owner = pref[0]
+		}
+		if w, ok := c.pickWorker(pref, nil); ok {
 			owner = w
 		}
 		groups[owner] = append(groups[owner], idx)

@@ -230,15 +230,32 @@ type StoreStatsView struct {
 
 // WorkerView is one worker's entry in GET /v1/cluster/workers.
 type WorkerView struct {
-	URL     string `json:"url"`
-	Healthy bool   `json:"healthy"`
+	URL string `json:"url"`
+	// Healthy is true while the worker's circuit breaker is not open
+	// (closed or half-open probation).
+	Healthy bool `json:"healthy"`
+	// State is the breaker position: closed, half-open or open.
+	State string `json:"state,omitempty"`
+	// Source records how the worker joined: static (coordinator flags),
+	// api (POST /v1/cluster/workers) or lease (self-registration).
+	Source string `json:"source,omitempty"`
 	// ConsecutiveFailures counts probe/request failures since the last
-	// success; one failure marks the worker down, one success marks it
-	// back up.
+	// success; DownAfter of them open the breaker.
 	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
-	// LastProbeMs is how long ago the health state last changed hands
-	// (probe or passive mark-down), in wall-clock milliseconds.
+	// Inflight is the number of placements currently running on this
+	// worker (drives load-aware spillover).
+	Inflight int `json:"inflight,omitempty"`
+	// LastProbeMs is how long ago the worker's health was last actually
+	// observed (a probe or a request outcome), in wall-clock
+	// milliseconds; -1 if it has never been observed. Distinct from
+	// LastChangeMs — a long-stable worker has a small LastProbeMs and a
+	// large LastChangeMs.
 	LastProbeMs int64 `json:"last_probe_ms,omitempty"`
+	// LastChangeMs is how long ago the breaker last changed state.
+	LastChangeMs int64 `json:"last_change_ms,omitempty"`
+	// LeaseExpiresMs is how long the worker's membership lease has left;
+	// absent for permanent members. Negative means expiry is imminent.
+	LeaseExpiresMs int64 `json:"lease_expires_ms,omitempty"`
 	// LastError is the most recent probe or request failure.
 	LastError string `json:"last_error,omitempty"`
 	// Requests/Failures/Retries count coordinator traffic to this worker.
@@ -250,4 +267,26 @@ type WorkerView struct {
 type WorkersView struct {
 	Workers []WorkerView `json:"workers"`
 	Healthy int          `json:"healthy"`
+}
+
+// WorkerJoinRequest is the body of POST /v1/cluster/workers: add a
+// worker to the fleet at runtime, or renew an existing worker's lease
+// (the call is idempotent — joining an existing member refreshes it).
+type WorkerJoinRequest struct {
+	// URL is the worker's base URL. Required.
+	URL string `json:"url"`
+	// TTLMs, when positive, makes the membership a lease: unless renewed
+	// by another join within TTLMs, the coordinator expires the worker
+	// and rebuilds the ring. Zero joins permanently. Self-registering
+	// workers heartbeat this endpoint at a fraction of their TTL.
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// WorkerJoinResponse is the body of a successful join or renewal.
+type WorkerJoinResponse struct {
+	URL string `json:"url"`
+	// Joined is true for a new member, false for a lease renewal.
+	Joined bool `json:"joined"`
+	// Workers is the fleet size after the join.
+	Workers int `json:"workers"`
 }
