@@ -33,6 +33,8 @@ func main() {
 		workerFlag = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quickFlag  = flag.Bool("quick", false, "shrink everything for a fast smoke run")
 		csvFlag    = flag.String("csv", "", "directory to write per-table CSV files into")
+		benchOut   = flag.String("bench-out", "BENCH_scale.json", "file the scale experiment writes raw measurements to")
+		benchBase  = flag.String("bench-baseline", "", "baseline BENCH_scale.json to compare against; exit 1 if ns/quantum regresses >25%")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 		SweepScale: *sweepFlag,
 		Workers:    *workerFlag,
 		Quick:      *quickFlag,
+		BenchOut:   *benchOut,
 	}
 
 	var ids []string
@@ -80,7 +83,35 @@ func main() {
 				cli.Fatal(err)
 			}
 		}
+		if rep.ID == "scale" && *benchBase != "" {
+			if err := checkBenchBaseline(*benchOut, *benchBase); err != nil {
+				cli.Fatal(err)
+			}
+		}
 	}
+}
+
+// checkBenchBaseline compares the scale experiment's fresh measurements
+// against a committed baseline and fails on a >25% per-policy decision
+// cost regression at any machine point both files measured.
+func checkBenchBaseline(current, baseline string) error {
+	cur, err := harness.LoadBenchScale(current)
+	if err != nil {
+		return err
+	}
+	base, err := harness.LoadBenchScale(baseline)
+	if err != nil {
+		return err
+	}
+	regressions := harness.CompareBenchScale(cur, base, 0.25)
+	if len(regressions) == 0 {
+		fmt.Printf("decision cost within 25%% of baseline %s\n", baseline)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "decision cost regression: "+r)
+	}
+	return fmt.Errorf("%d decision-cost regression(s) vs %s", len(regressions), baseline)
 }
 
 // writeCSVs dumps each table of rep as DIR/<exp>_<n>.csv.

@@ -9,6 +9,7 @@
 //	dikesim -wl 15 -policy dio -scale 1         # full-length WL15 under DIO
 //	dikesim -wl 7 -policy dike-af -seed 7       # adaptive, different seed
 //	dikesim -apps jacobi,srad -policy dike      # custom two-app workload
+//	dikesim -wl 6 -machine big.json             # topology-driven machine spec
 //
 // Record/replay:
 //
@@ -34,6 +35,8 @@ import (
 	"dike/internal/cli"
 	"dike/internal/fault"
 	"dike/internal/harness"
+	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/workload"
 )
 
@@ -49,6 +52,7 @@ func main() {
 		faultsFlag = flag.String("faults", "", "fault classes to inject: 'all', 'none', or a comma list of "+fault.ClassNames())
 		frateFlag  = flag.Float64("fault-rate", 1, "multiplier on all fault-class base probabilities")
 		fseedFlag  = flag.Uint64("fault-seed", 1, "fault injector seed (same seed = identical fault schedule)")
+		machFlag   = flag.String("machine", "", "JSON machine spec file (core types, sockets, memory controllers, distance matrix); default is the Table I machine")
 		recordFlag = flag.String("record", "", "write a replay log of the run to this file")
 		replayFlag = flag.String("replay", "", "re-run a recorded log instead of simulating; other run flags are ignored")
 		digestFlag = flag.Bool("digest", false, "print only the deterministic decision digest")
@@ -73,6 +77,15 @@ func main() {
 
 	spec := harness.RunSpec{
 		Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
+	}
+	if *machFlag != "" {
+		ms, err := platform.LoadMachineSpec(*machFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.Spec = ms
+		spec.MachineConfig = &mcfg
 	}
 	if *traceFlag != "" {
 		spec.TraceEvery = 250

@@ -69,6 +69,11 @@ type Ranking struct {
 	// begins: threads at index >= Boundary deserve high-bandwidth cores.
 	Boundary int
 	obs      *Observation
+	// procMean caches each process's mean retired-instruction count.
+	// admissible is called from SelectPairs' pair loop; recomputing the
+	// mean there made pair selection O(threads²), which dominates
+	// decision cost on 1024-core machines.
+	procMean map[int]float64
 }
 
 // NewRanking orders obs's alive threads and locates the placement
@@ -108,7 +113,19 @@ func NewRanking(obs *Observation) *Ranking {
 	if boundary < 0 {
 		boundary = 0
 	}
-	return &Ranking{Sorted: sorted, Boundary: boundary, obs: obs}
+	// Per-process progress means, accumulated in obs.Alive order so the
+	// float summation order matches the former per-call computation.
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for _, id := range obs.Alive {
+		sum[obs.Proc[id]] += obs.Instr[id]
+		cnt[obs.Proc[id]]++
+	}
+	mean := make(map[int]float64, len(sum))
+	for p, s := range sum {
+		mean[p] = s / float64(cnt[p])
+	}
+	return &Ranking{Sorted: sorted, Boundary: boundary, obs: obs, procMean: mean}
 }
 
 // HighDeserving reports whether the thread at sorted index i belongs in
@@ -131,18 +148,10 @@ func (r *Ranking) admissible(h, t int) bool {
 	if obs.Proc[lo] == obs.Proc[hi] {
 		// Intra-process rotation: only worthwhile if the sibling on the
 		// better core is materially ahead.
-		mean := 0.0
-		n := 0
-		for _, id := range obs.Alive {
-			if obs.Proc[id] == obs.Proc[lo] {
-				mean += obs.Instr[id]
-				n++
-			}
-		}
-		if n == 0 || mean == 0 {
+		mean := r.procMean[obs.Proc[lo]]
+		if mean == 0 {
 			return false
 		}
-		mean /= float64(n)
 		return (obs.Instr[lo]-obs.Instr[hi])/mean > ProgressDeadband
 	}
 	bl, bh := obs.Baseline[lo], obs.Baseline[hi]

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dike/internal/core"
+	"dike/internal/fault"
+	"dike/internal/machine"
+	"dike/internal/sim"
+	"dike/internal/workload"
+)
+
+// namedSpec is one entry of the digest-compatibility corpus.
+type namedSpec struct {
+	name string
+	spec RunSpec
+}
+
+// seedDigestSpecs enumerates the spec space the seed experiments draw
+// from: every Table II workload under every policy, the sweep
+// configurations, fault plans, the scale-out machine override, and the
+// step/horizon variants. The golden digests for these specs were
+// captured before the machine-spec refactor; they must never change,
+// or every durable store and fleet cache in the field is silently
+// invalidated.
+func seedDigestSpecs() []namedSpec {
+	var out []namedSpec
+	policies := []string{PolicyCFS, PolicyDIO, PolicyDike, PolicyDikeAF,
+		PolicyDikeAP, PolicyNull, PolicyRotate, PolicyOracle}
+	for wl := 1; wl <= 16; wl++ {
+		w := workload.MustTable2(wl)
+		for _, pol := range policies {
+			out = append(out, namedSpec{
+				name: fmt.Sprintf("wl%02d-%s", wl, pol),
+				spec: RunSpec{Workload: w, Policy: pol, Seed: 42, Scale: 0.5},
+			})
+		}
+	}
+	// Sweep-style Dike configurations (the Fig 2/4/5 grid corners).
+	for _, q := range []sim.Time{100, 1000} {
+		for _, sw := range []int{2, 16} {
+			cfg := core.DefaultConfig()
+			cfg.QuantaLength = q
+			cfg.SwapSize = sw
+			out = append(out, namedSpec{
+				name: fmt.Sprintf("sweep-q%d-s%d", q, sw),
+				spec: RunSpec{Workload: workload.MustTable2(6), Policy: PolicyDike,
+					DikeConfig: &cfg, Seed: 42, Scale: 0.25},
+			})
+		}
+	}
+	// Fault plans (the degradation sweep).
+	fc := fault.DefaultConfig()
+	fc.Classes = fault.All
+	out = append(out, namedSpec{
+		name: "faults-all-dike-af",
+		spec: RunSpec{Workload: workload.MustTable2(1), Policy: PolicyDikeAF,
+			Faults: &fc, Seed: 42, Scale: 0.5},
+	})
+	// The scale-out machine override (extra-scale experiment).
+	mcfg := machine.DefaultConfig()
+	mcfg.Topology.FastPhysical *= 4
+	mcfg.Topology.SlowPhysical *= 4
+	mcfg.MemCapacity *= 4
+	out = append(out, namedSpec{
+		name: "scaleout-dike",
+		spec: RunSpec{Workload: workload.MustTable2(3), Policy: PolicyDike,
+			MachineConfig: &mcfg, Seed: 42, Scale: 0.5},
+	})
+	// Step and horizon variants.
+	out = append(out, namedSpec{
+		name: "step2-maxtime",
+		spec: RunSpec{Workload: workload.MustTable2(9), Policy: PolicyDIO,
+			Seed: 7, Scale: 0.1, Step: 2, MaxTime: 600_000},
+	})
+	return out
+}
+
+// TestSeedDigestsUnchanged is the digest-compatibility regression test:
+// RunSpec.Digest() for the whole seed-experiment corpus must be
+// byte-identical to the values captured before the topology-driven
+// machine-spec refactor. The default machine (MachineConfig nil, or an
+// explicit legacy config with no Spec) must encode to the legacy form,
+// so the durable store and fleet cache keyed by these digests stay
+// valid across the refactor.
+func TestSeedDigestsUnchanged(t *testing.T) {
+	blob, err := os.ReadFile("testdata/seed_digests.json")
+	if err != nil {
+		t.Fatalf("reading golden digests: %v", err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(blob, &golden); err != nil {
+		t.Fatalf("parsing golden digests: %v", err)
+	}
+	specs := seedDigestSpecs()
+	if len(golden) != len(specs) {
+		t.Fatalf("golden file has %d entries, corpus has %d — regenerate with GEN_DIGEST_GOLDEN=1 only if an intentional, store-invalidating format change is being shipped", len(golden), len(specs))
+	}
+	for _, e := range specs {
+		want, ok := golden[e.name]
+		if !ok {
+			t.Errorf("%s: missing from golden file", e.name)
+			continue
+		}
+		got, err := e.spec.Digest()
+		if err != nil {
+			t.Errorf("%s: digest failed: %v", e.name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: digest drifted\n got %s\nwant %s", e.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package harness
+
+// Temporary generator: writes testdata/seed_digests.json from the
+// CURRENT digest implementation. Run once before the machine-spec
+// refactor; the file becomes the compatibility baseline.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestGenerateSeedDigestGolden(t *testing.T) {
+	if os.Getenv("GEN_DIGEST_GOLDEN") == "" {
+		t.Skip("set GEN_DIGEST_GOLDEN=1 to regenerate")
+	}
+	entries := seedDigestSpecs()
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		d, err := e.spec.Digest()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		out[e.name] = d
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/seed_digests.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,10 @@ type Options struct {
 	Workers int
 	// Quick shrinks everything further for smoke tests.
 	Quick bool
+	// BenchOut, when set, is where benchmark experiments (currently
+	// `scale`) write their raw machine-readable measurements
+	// (BENCH_scale.json). Empty disables the file.
+	BenchOut string
 }
 
 // withDefaults fills unset fields.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"dike/internal/core"
 	"dike/internal/fault"
@@ -138,6 +139,11 @@ type RunOutput struct {
 	History []core.QuantumRecord
 	// CompletedAt is the simulated completion time.
 	CompletedAt sim.Time
+	// DecisionTime is the cumulative wall-clock time spent inside the
+	// policy's Quantum calls, and Decisions how many were taken. Their
+	// ratio (ns/quantum) is the scale benchmark's decision-cost metric.
+	DecisionTime time.Duration
+	Decisions    int
 	// Trace holds the sampled time series when RunSpec.TraceEvery > 0.
 	Trace *RunTrace
 	// FaultStats counts the faults actually injected (nil without Faults).
@@ -242,6 +248,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		return nil, err
 	}
 	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt}
+	out.DecisionTime, out.Decisions = engine.DecisionCost()
 	if inj != nil {
 		st := inj.Stats()
 		out.FaultStats = &st

@@ -7,12 +7,22 @@ import (
 	"sort"
 
 	"dike/internal/counters"
+	"dike/internal/platform"
 	"dike/internal/sim"
 )
 
 // Config parameterises a Machine. DefaultConfig reproduces the paper's
 // platform (Table I) in model units.
 type Config struct {
+	// Spec, when set, replaces the legacy Topology/Mem* fields with a
+	// declarative topology-driven machine model: N core types, sockets
+	// with per-socket memory controllers, a socket-distance matrix and
+	// per-type DVFS tables. When nil the legacy fields below describe
+	// the canonical two-socket machine. The json tag omits the field
+	// when nil so the canonical encoding — and therefore every existing
+	// RunSpec digest — is unchanged for legacy configs.
+	Spec *platform.MachineSpec `json:"Spec,omitempty"`
+
 	Topology TopologySpec
 
 	// SMTPenalty is the throughput factor each SMT lane gets when its
@@ -83,18 +93,25 @@ func DefaultConfig() Config {
 }
 
 // Validate reports the first problem with the configuration, or nil.
+// A topology-driven config (Spec set) validates the spec — including
+// every memory controller's capacity — up front; the legacy fields are
+// ignored in that case except for the shared penalty/solver parameters.
 func (c Config) Validate() error {
-	if err := c.Topology.Validate(); err != nil {
+	if c.Spec != nil {
+		if err := c.Spec.Validate(); err != nil {
+			return err
+		}
+	} else if err := c.Topology.Validate(); err != nil {
 		return err
 	}
 	switch {
 	case c.SMTPenalty <= 0 || c.SMTPenalty > 1:
 		return errors.New("machine: SMTPenalty must be in (0,1]")
-	case c.MemCapacity <= 0:
+	case c.Spec == nil && c.MemCapacity <= 0:
 		return errors.New("machine: MemCapacity must be positive")
-	case c.MemBaseLatency < 0:
+	case c.Spec == nil && c.MemBaseLatency < 0:
 		return errors.New("machine: negative MemBaseLatency")
-	case c.MemMaxUtil <= 0 || c.MemMaxUtil >= 1:
+	case c.Spec == nil && (c.MemMaxUtil <= 0 || c.MemMaxUtil >= 1):
 		return errors.New("machine: MemMaxUtil must be in (0,1)")
 	case c.Overlap < 0 || c.Overlap >= 1:
 		return errors.New("machine: Overlap must be in [0,1)")
@@ -202,11 +219,20 @@ type Disruptor interface {
 // sim.World. It is not safe for concurrent use; run one Machine per
 // goroutine.
 type Machine struct {
-	cfg    Config
-	topo   *Topology
-	ctrl   MemController
-	solver contentionSolver
-	file   *counters.File
+	cfg  Config
+	topo *Topology
+	file *counters.File
+
+	// Resolved machine model (built once in New from either the legacy
+	// fields or cfg.Spec):
+	ctrls      []MemController   // one per controller domain
+	solvers    []contentionSolver // parallel to ctrls
+	coreDomain []int              // logical core -> controller domain
+	dist       [][]float64        // socket x socket distance matrix
+	smtPen     []float64          // per-kind SMT penalty
+	dvfsTab    [][]float64        // per-kind DVFS multiplier tables (nil = nominal only)
+	dvfsLevel  []int              // per-core current DVFS level
+	coreMult   []float64          // per-core current speed multiplier
 
 	threads map[ThreadID]*thread
 	order   []ThreadID // deterministic iteration order
@@ -228,6 +254,12 @@ type Machine struct {
 	scratchDem   []Demand
 	scratchLat   []float64
 	scratchProg  []float64
+	// per-controller-domain scratch for the multi-socket solve.
+	domIdx   [][]int
+	domRates [][]float64
+	domDems  [][]Demand
+	domLats  [][]float64
+	domProg  [][]float64
 }
 
 // New builds a machine from cfg.
@@ -235,20 +267,98 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	topo, err := BuildTopology(cfg.Topology)
+	var topo *Topology
+	var err error
+	if cfg.Spec != nil {
+		topo, err = platform.BuildMachineTopology(cfg.Spec)
+	} else {
+		topo, err = BuildTopology(cfg.Topology)
+	}
 	if err != nil {
 		return nil, err
 	}
-	ctrl := MemController{Capacity: cfg.MemCapacity, BaseLatency: cfg.MemBaseLatency, MaxUtil: cfg.MemMaxUtil}
 	m := &Machine{
 		cfg:     cfg,
 		topo:    topo,
-		ctrl:    ctrl,
 		file:    counters.NewFile(topo.NumCores()),
 		threads: make(map[ThreadID]*thread),
 	}
-	m.solver = contentionSolver{ctrl: &m.ctrl, overlap: cfg.Overlap, hitLat: cfg.LLCHitLatency}
+	m.resolve()
 	return m, nil
+}
+
+// resolve builds the runtime machine model — controllers, controller
+// domains, distance matrix, per-kind SMT penalties and DVFS tables —
+// from either the legacy config fields or cfg.Spec. The legacy machine
+// resolves to a single controller domain spanning both sockets, so its
+// contention solve runs the exact same float operations as before the
+// topology-driven refactor.
+func (m *Machine) resolve() {
+	nk := m.topo.NumKinds()
+	ns := m.topo.NumSockets()
+	m.smtPen = make([]float64, nk)
+	m.dvfsTab = make([][]float64, nk)
+	for k := range m.smtPen {
+		m.smtPen[k] = m.cfg.SMTPenalty
+	}
+	sockDomain := make([]int, ns)
+	if spec := m.cfg.Spec; spec != nil {
+		for k, ct := range spec.CoreTypes {
+			if ct.SMTPenalty > 0 {
+				m.smtPen[k] = ct.SMTPenalty
+			}
+			if len(ct.DVFS) > 0 {
+				m.dvfsTab[k] = ct.DVFS
+			}
+		}
+		if spec.SharedMem != nil {
+			m.ctrls = []MemController{{Capacity: spec.SharedMem.Capacity, BaseLatency: spec.SharedMem.BaseLatency, MaxUtil: spec.SharedMem.MaxUtil}}
+		} else {
+			m.ctrls = make([]MemController, ns)
+			for si, sock := range spec.Sockets {
+				m.ctrls[si] = MemController{Capacity: sock.Mem.Capacity, BaseLatency: sock.Mem.BaseLatency, MaxUtil: sock.Mem.MaxUtil}
+				sockDomain[si] = si
+			}
+		}
+		m.dist = make([][]float64, ns)
+		for i := range m.dist {
+			m.dist[i] = make([]float64, ns)
+			for j := range m.dist[i] {
+				m.dist[i][j] = spec.SocketDistance(i, j)
+			}
+		}
+	} else {
+		m.ctrls = []MemController{{Capacity: m.cfg.MemCapacity, BaseLatency: m.cfg.MemBaseLatency, MaxUtil: m.cfg.MemMaxUtil}}
+		m.dist = make([][]float64, ns)
+		for i := range m.dist {
+			m.dist[i] = make([]float64, ns)
+			for j := range m.dist[i] {
+				if i != j {
+					m.dist[i][j] = 1
+				}
+			}
+		}
+	}
+	m.solvers = make([]contentionSolver, len(m.ctrls))
+	for d := range m.ctrls {
+		m.solvers[d] = contentionSolver{ctrl: &m.ctrls[d], overlap: m.cfg.Overlap, hitLat: m.cfg.LLCHitLatency}
+	}
+	m.coreDomain = make([]int, m.topo.NumCores())
+	m.dvfsLevel = make([]int, m.topo.NumCores())
+	m.coreMult = make([]float64, m.topo.NumCores())
+	for _, c := range m.topo.Cores() {
+		m.coreDomain[c.ID] = sockDomain[c.Socket]
+		m.coreMult[c.ID] = m.nominalMult(c.Kind)
+	}
+}
+
+// nominalMult returns kind k's level-0 speed multiplier (1 when the
+// type declares no DVFS table).
+func (m *Machine) nominalMult(k CoreKind) float64 {
+	if tab := m.dvfsTab[k]; len(tab) > 0 {
+		return tab[0]
+	}
+	return 1
 }
 
 // MustNew is New for static configurations known to be valid; it panics
@@ -386,13 +496,14 @@ func (m *Machine) Migrate(id ThreadID, core CoreID, now sim.Time) error {
 		m.migFailures++
 		return nil
 	}
-	// Cross-socket moves (between the fast and slow pools) strand the
-	// thread's pages on the remote NUMA node: a large, slowly-decaying
-	// miss penalty. Same-socket moves keep the shared LLC warm.
-	if m.topo.Core(t.core).Kind != m.topo.Core(core).Kind {
-		t.coldBoost = m.cfg.ColdMissFactor - 1
+	// Cross-socket moves strand the thread's pages on the remote NUMA
+	// node: a large, slowly-decaying miss penalty, scaled by the socket
+	// distance (two-hop moves on big machines hurt proportionally more).
+	// Same-socket moves keep the shared LLC warm.
+	if d := m.dist[m.topo.SocketOf(t.core)][m.topo.SocketOf(core)]; d > 0 {
+		t.coldBoost = (m.cfg.ColdMissFactor - 1) * d
 		t.coldHalf = m.cfg.ColdHalfLife
-		t.numaBoost = m.cfg.RemoteLatencyFactor - 1
+		t.numaBoost = (m.cfg.RemoteLatencyFactor - 1) * d
 	} else {
 		t.coldBoost = m.cfg.LocalColdFactor - 1
 		t.coldHalf = m.cfg.LocalColdHalfLife
@@ -619,6 +730,7 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 		}
 		core := m.topo.Core(t.core)
 		rate := core.Speed
+		rate *= m.coreMult[t.core] // DVFS level multiplier (exactly 1 at nominal)
 		if m.disruptor != nil {
 			factor := m.disruptor.CoreFactor(t.core, now)
 			if factor <= 0 {
@@ -630,7 +742,7 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 			rate *= factor
 		}
 		if physBusy[core.Physical] > 1 {
-			rate *= m.cfg.SMTPenalty
+			rate *= m.smtPen[core.Kind]
 		}
 		if n := laneCount[t.core]; n > 1 {
 			rate /= float64(n) // lane time-sharing
@@ -653,8 +765,14 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 		m.scratchProg = make([]float64, len(active))
 	}
 	prog := m.scratchProg[:len(active)]
-	offered := m.solver.solve(rates, dems, lats, prog)
-	m.lastUtil = m.ctrl.Utilization(offered)
+	if len(m.ctrls) == 1 {
+		// Single controller domain (the legacy machine, or a spec with
+		// SharedMem): one solve over all active threads in order.
+		offered := m.solvers[0].solve(rates, dems, lats, prog)
+		m.lastUtil = m.ctrls[0].Utilization(offered)
+	} else {
+		m.solveDomains(active, rates, dems, lats, prog)
+	}
 
 	// Advance work, respecting per-thread remaining work and barrier
 	// limits captured at the start of the tick.
@@ -702,6 +820,103 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 		}
 	}
 }
+
+// solveDomains runs the contention fixed point independently per memory
+// controller: active threads are partitioned by their core's controller
+// domain (preserving registration order within each domain), each
+// domain's solver runs over its own sub-slices, and the progress rates
+// are scattered back. lastUtil is the hottest controller's utilisation.
+func (m *Machine) solveDomains(active []*thread, rates []float64, dems []Demand, lats []float64, prog []float64) {
+	nd := len(m.ctrls)
+	if len(m.domIdx) < nd {
+		m.domIdx = make([][]int, nd)
+		m.domRates = make([][]float64, nd)
+		m.domDems = make([][]Demand, nd)
+		m.domLats = make([][]float64, nd)
+		m.domProg = make([][]float64, nd)
+	}
+	for d := 0; d < nd; d++ {
+		m.domIdx[d] = m.domIdx[d][:0]
+	}
+	for i, t := range active {
+		d := m.coreDomain[t.core]
+		m.domIdx[d] = append(m.domIdx[d], i)
+	}
+	m.lastUtil = 0
+	for d := 0; d < nd; d++ {
+		idx := m.domIdx[d]
+		if len(idx) == 0 {
+			continue
+		}
+		r := m.domRates[d][:0]
+		dm := m.domDems[d][:0]
+		lt := m.domLats[d][:0]
+		for _, i := range idx {
+			r = append(r, rates[i])
+			dm = append(dm, dems[i])
+			lt = append(lt, lats[i])
+		}
+		m.domRates[d], m.domDems[d], m.domLats[d] = r, dm, lt
+		if cap(m.domProg[d]) < len(idx) {
+			m.domProg[d] = make([]float64, len(idx))
+		}
+		out := m.domProg[d][:len(idx)]
+		offered := m.solvers[d].solve(r, dm, lt, out)
+		for j, i := range idx {
+			prog[i] = out[j]
+		}
+		if u := m.ctrls[d].Utilization(offered); u > m.lastUtil {
+			m.lastUtil = u
+		}
+	}
+}
+
+// SetDVFS sets a core's DVFS level: an index into its type's multiplier
+// table (level 0 is nominal). Core types that declare no DVFS table only
+// accept level 0.
+func (m *Machine) SetDVFS(core CoreID, level int) error {
+	if int(core) < 0 || int(core) >= m.topo.NumCores() {
+		return fmt.Errorf("machine: core %d out of range", core)
+	}
+	k := m.topo.Core(core).Kind
+	if level == 0 {
+		m.dvfsLevel[core] = 0
+		m.coreMult[core] = m.nominalMult(k)
+		return nil
+	}
+	tab := m.dvfsTab[k]
+	if level < 0 || level >= len(tab) {
+		return fmt.Errorf("machine: core %d (type %s) has no DVFS level %d (levels: %d)",
+			core, m.topo.KindName(k), level, max(len(tab), 1))
+	}
+	m.dvfsLevel[core] = level
+	m.coreMult[core] = tab[level]
+	return nil
+}
+
+// DVFSOf returns a core's current DVFS level (0 = nominal).
+func (m *Machine) DVFSOf(core CoreID) int {
+	if int(core) < 0 || int(core) >= m.topo.NumCores() {
+		return 0
+	}
+	return m.dvfsLevel[core]
+}
+
+// DVFSLevels returns how many DVFS levels a core's type declares (at
+// least 1: the nominal level).
+func (m *Machine) DVFSLevels(core CoreID) int {
+	if int(core) < 0 || int(core) >= m.topo.NumCores() {
+		return 1
+	}
+	if tab := m.dvfsTab[m.topo.Core(core).Kind]; len(tab) > 0 {
+		return len(tab)
+	}
+	return 1
+}
+
+// NumMemDomains returns the number of independent memory controller
+// domains (1 for the legacy machine or any spec with SharedMem).
+func (m *Machine) NumMemDomains() int { return len(m.ctrls) }
 
 // PlacementSnapshot returns the current thread→core map, sorted by thread
 // id. Used by traces and tests.

@@ -24,11 +24,14 @@ type MemController struct {
 }
 
 // Latency returns the per-miss stall given an aggregate offered miss rate.
+// A controller with no capacity is saturated, not uncontended: it reports
+// the latency at the utilisation cap. (Specs are validated up front, so
+// this only guards hand-constructed controllers.)
 func (mc *MemController) Latency(offered float64) float64 {
-	rho := 0.0
-	if mc.Capacity > 0 {
-		rho = offered / mc.Capacity
+	if mc.Capacity <= 0 {
+		return mc.BaseLatency / (1 - mc.MaxUtil)
 	}
+	rho := offered / mc.Capacity
 	if rho > mc.MaxUtil {
 		rho = mc.MaxUtil
 	}

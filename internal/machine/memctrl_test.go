@@ -34,6 +34,39 @@ func TestLatencyCapped(t *testing.T) {
 	}
 }
 
+// TestLatencyRhoClamp pins the rho clamp at both ends of the operating
+// range and the degenerate-capacity case: negative offered rates clamp
+// to the uncontended latency, overload clamps to the MaxUtil asymptote,
+// and a controller with no capacity reports saturation — not a free
+// uncontended memory system.
+func TestLatencyRhoClamp(t *testing.T) {
+	cases := []struct {
+		name     string
+		mc       MemController
+		offered  float64
+		wantLat  float64
+		wantUtil float64
+	}{
+		{"negative offered clamps to zero", MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}, -50, 0.01, 0},
+		{"zero offered uncontended", MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}, 0, 0.01, 0},
+		{"mid-range linear", MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}, 50, 0.01 / (1 - 0.5), 0.5},
+		{"at capacity clamps to MaxUtil", MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}, 100, 0.01 / (1 - 0.9), 0.9},
+		{"overload clamps to MaxUtil", MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}, 1e12, 0.01 / (1 - 0.9), 0.9},
+		{"zero capacity saturates", MemController{Capacity: 0, BaseLatency: 0.01, MaxUtil: 0.9}, 10, 0.01 / (1 - 0.9), 0.9},
+		{"negative capacity saturates", MemController{Capacity: -5, BaseLatency: 0.01, MaxUtil: 0.9}, 0, 0.01 / (1 - 0.9), 0.9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.mc.Latency(tc.offered); math.Abs(got-tc.wantLat) > 1e-12 {
+				t.Errorf("Latency(%v) = %v, want %v", tc.offered, got, tc.wantLat)
+			}
+			if got := tc.mc.Utilization(tc.offered); math.Abs(got-tc.wantUtil) > 1e-12 {
+				t.Errorf("Utilization(%v) = %v, want %v", tc.offered, got, tc.wantUtil)
+			}
+		})
+	}
+}
+
 func TestUtilization(t *testing.T) {
 	mc := MemController{Capacity: 100, BaseLatency: 0.01, MaxUtil: 0.9}
 	if mc.Utilization(50) != 0.5 {

@@ -16,9 +16,19 @@ type sampler struct {
 	prevC    []counters.CoreCounters
 }
 
-// MemCapacity implements platform.Platform: the memory controller's
-// service capacity in misses/ms.
-func (m *Machine) MemCapacity() float64 { return m.cfg.MemCapacity }
+// MemCapacity implements platform.Platform: the service capacity of the
+// machine's largest memory controller, in misses/ms. (Observers use it
+// as a sanity bound for counter readings; on a multi-controller machine
+// the largest controller bounds any single domain's throughput.)
+func (m *Machine) MemCapacity() float64 {
+	best := 0.0
+	for _, c := range m.ctrls {
+		if c.Capacity > best {
+			best = c.Capacity
+		}
+	}
+	return best
+}
 
 // ProcessOf implements platform.Platform; process membership is the
 // benchmark a thread belongs to.

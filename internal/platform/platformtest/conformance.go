@@ -75,6 +75,56 @@ func Conformance(t *testing.T, inst *Instance) {
 		t.Errorf("MemCapacity = %v, want > 0", p.MemCapacity())
 	}
 
+	// Topology metadata: sockets and kinds form consistent tables. These
+	// invariants hold for any machine shape — the legacy two-socket pair
+	// or an N-type multi-socket spec — and must survive a replay round
+	// trip bit-for-bit.
+	if topo.NumSockets() < 1 {
+		t.Errorf("NumSockets = %d, want >= 1", topo.NumSockets())
+	}
+	if topo.NumKinds() < 1 {
+		t.Errorf("NumKinds = %d, want >= 1", topo.NumKinds())
+	}
+	populated := map[platform.CoreKind]int{}
+	for i := 0; i < n; i++ {
+		c := topo.Core(platform.CoreID(i))
+		if c.Socket < 0 || c.Socket >= topo.NumSockets() {
+			t.Errorf("core %d on socket %d, outside [0,%d)", i, c.Socket, topo.NumSockets())
+		}
+		if got := topo.SocketOf(c.ID); got != c.Socket {
+			t.Errorf("SocketOf(%d) = %d, core says %d", i, got, c.Socket)
+		}
+		if int(c.Kind) < 0 || int(c.Kind) >= topo.NumKinds() {
+			t.Errorf("core %d has kind %d, outside [0,%d)", i, c.Kind, topo.NumKinds())
+		}
+		if topo.KindName(c.Kind) == "" {
+			t.Errorf("kind %d has empty name", c.Kind)
+		}
+		populated[c.Kind]++
+	}
+	ranked := topo.KindsBySpeed()
+	if len(ranked) != len(populated) {
+		t.Errorf("KindsBySpeed lists %d kinds, %d populated", len(ranked), len(populated))
+	}
+	for i, k := range ranked {
+		ids := topo.CoresOfKind(k)
+		if len(ids) != populated[k] {
+			t.Errorf("CoresOfKind(%v) lists %d cores, want %d", k, len(ids), populated[k])
+		}
+		for _, id := range ids {
+			if topo.Core(id).Kind != k {
+				t.Errorf("CoresOfKind(%v) lists core %d of kind %v", k, id, topo.Core(id).Kind)
+			}
+		}
+		if i > 0 {
+			prev := topo.Core(topo.CoresOfKind(ranked[i-1])[0]).Speed
+			cur := topo.Core(ids[0]).Speed
+			if cur > prev {
+				t.Errorf("KindsBySpeed out of order: kind %v (%v) after %v (%v)", k, cur, ranked[i-1], prev)
+			}
+		}
+	}
+
 	// Thread identity: stable order, known processes.
 	threads := p.Threads()
 	if len(threads) < 4 {

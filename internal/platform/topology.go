@@ -3,6 +3,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // CoreID identifies a logical core (an SMT lane).
@@ -11,8 +12,9 @@ type CoreID int
 // ThreadID identifies a thread.
 type ThreadID int
 
-// CoreKind distinguishes the two frequency domains of the heterogeneous
-// machine.
+// CoreKind is an index into the machine's core-type table. The legacy
+// two-pool machine uses FastCore and SlowCore; topology-driven machines
+// may define any number of types.
 type CoreKind int
 
 const (
@@ -22,12 +24,18 @@ const (
 	SlowCore
 )
 
-// String returns "fast" or "slow".
+// String returns the default name for the kind: "fast", "slow", or
+// "type<N>" for indexes beyond the legacy pair. Topologies built from a
+// MachineSpec carry their own names; see Topology.KindName.
 func (k CoreKind) String() string {
-	if k == FastCore {
+	switch k {
+	case FastCore:
 		return "fast"
+	case SlowCore:
+		return "slow"
+	default:
+		return fmt.Sprintf("type%d", int(k))
 	}
-	return "slow"
 }
 
 // Core describes one logical core.
@@ -36,19 +44,25 @@ type Core struct {
 	Kind     CoreKind
 	Speed    float64 // work units per ms at full, un-shared throughput
 	Physical int     // physical core index; SMT siblings share it
+	Socket   int     // socket (NUMA domain) the core belongs to
 }
 
 // Topology is the set of logical cores of a platform — the part of the
 // system a userspace scheduler can read from sysfs/cpuinfo: core ids,
-// their kind and relative speed, and which logical cores share a
-// physical core.
+// their kind, relative speed and socket, and which logical cores share
+// a physical core.
 type Topology struct {
 	cores []Core
 	// siblings[physical] lists the logical cores on that physical core.
 	siblings map[int][]CoreID
+	// kindNames[k] names core type k; len(kindNames) is the number of
+	// kinds the topology declares.
+	kindNames  []string
+	numSockets int
 }
 
-// TopologySpec parameterises BuildTopology.
+// TopologySpec parameterises BuildTopology — the legacy fast/slow
+// two-socket machine.
 type TopologySpec struct {
 	FastPhysical int     // number of fast physical cores
 	SlowPhysical int     // number of slow physical cores
@@ -74,20 +88,39 @@ func (s TopologySpec) Validate() error {
 	return nil
 }
 
-// BuildTopology lays out logical cores: fast physical cores first, then
-// slow, with SMT lanes interleaved per physical core. Logical core ids are
-// dense in [0, Total).
+// MachineSpec returns the canonical topology-driven form of the legacy
+// spec: fast cores on socket 0, slow cores on socket 1, distance 1
+// between them. Memory controller fields are left to the caller.
+func (s TopologySpec) MachineSpec() *MachineSpec {
+	ms := &MachineSpec{
+		CoreTypes: []CoreTypeSpec{
+			{Name: "fast", Speed: s.FastSpeed, SMTWays: s.SMTWays},
+			{Name: "slow", Speed: s.SlowSpeed, SMTWays: s.SMTWays},
+		},
+	}
+	if s.FastPhysical > 0 {
+		ms.Sockets = append(ms.Sockets, SocketSpec{Cores: []CoreGroup{{Type: "fast", Physical: s.FastPhysical}}})
+	}
+	if s.SlowPhysical > 0 {
+		ms.Sockets = append(ms.Sockets, SocketSpec{Cores: []CoreGroup{{Type: "slow", Physical: s.SlowPhysical}}})
+	}
+	return ms
+}
+
+// BuildTopology lays out logical cores for the legacy machine: fast
+// physical cores first (socket 0), then slow (socket 1), with SMT lanes
+// interleaved per physical core. Logical core ids are dense in [0, Total).
 func BuildTopology(s TopologySpec) (*Topology, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Topology{siblings: make(map[int][]CoreID)}
+	t := &Topology{siblings: make(map[int][]CoreID), kindNames: []string{"fast", "slow"}}
 	id := CoreID(0)
 	phys := 0
-	add := func(n int, kind CoreKind, speed float64) {
+	add := func(n int, kind CoreKind, speed float64, socket int) {
 		for i := 0; i < n; i++ {
 			for w := 0; w < s.SMTWays; w++ {
-				c := Core{ID: id, Kind: kind, Speed: speed, Physical: phys}
+				c := Core{ID: id, Kind: kind, Speed: speed, Physical: phys, Socket: socket}
 				t.cores = append(t.cores, c)
 				t.siblings[phys] = append(t.siblings[phys], id)
 				id++
@@ -95,18 +128,60 @@ func BuildTopology(s TopologySpec) (*Topology, error) {
 			phys++
 		}
 	}
-	add(s.FastPhysical, FastCore, s.FastSpeed)
-	add(s.SlowPhysical, SlowCore, s.SlowSpeed)
+	add(s.FastPhysical, FastCore, s.FastSpeed, 0)
+	add(s.SlowPhysical, SlowCore, s.SlowSpeed, 1)
+	t.numSockets = 2
+	return t, nil
+}
+
+// BuildMachineTopology lays out logical cores from a validated
+// MachineSpec: sockets in declaration order, core groups in order within
+// each socket, SMT lanes interleaved per physical core. Logical core ids
+// are dense in [0, TotalLogical).
+func BuildMachineTopology(spec *MachineSpec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{siblings: make(map[int][]CoreID), numSockets: len(spec.Sockets)}
+	for _, ct := range spec.CoreTypes {
+		t.kindNames = append(t.kindNames, ct.Name)
+	}
+	id := CoreID(0)
+	phys := 0
+	for si, sock := range spec.Sockets {
+		for _, g := range sock.Cores {
+			ti := spec.TypeIndex(g.Type)
+			ct := spec.CoreTypes[ti]
+			for i := 0; i < g.Physical; i++ {
+				for w := 0; w < ct.SMTWays; w++ {
+					c := Core{ID: id, Kind: CoreKind(ti), Speed: ct.Speed, Physical: phys, Socket: si}
+					t.cores = append(t.cores, c)
+					t.siblings[phys] = append(t.siblings[phys], id)
+					id++
+				}
+				phys++
+			}
+		}
+	}
 	return t, nil
 }
 
 // NewTopology reconstructs a Topology from an explicit core list (e.g. a
-// deserialized recording header). Core ids must be dense in [0, len).
+// deserialized recording header), using default kind names. Core ids
+// must be dense in [0, len).
 func NewTopology(cores []Core) (*Topology, error) {
+	return NewTopologyNamed(cores, nil)
+}
+
+// NewTopologyNamed reconstructs a Topology from an explicit core list
+// and kind-name table. A nil or short names slice is padded with the
+// kinds' default names.
+func NewTopologyNamed(cores []Core, names []string) (*Topology, error) {
 	if len(cores) == 0 {
 		return nil, errors.New("platform: no cores")
 	}
 	t := &Topology{siblings: make(map[int][]CoreID)}
+	maxKind := CoreKind(0)
 	for i, c := range cores {
 		if int(c.ID) != i {
 			return nil, fmt.Errorf("platform: core id %d at index %d (ids must be dense)", c.ID, i)
@@ -114,8 +189,38 @@ func NewTopology(cores []Core) (*Topology, error) {
 		if c.Speed <= 0 {
 			return nil, fmt.Errorf("platform: core %d has non-positive speed", c.ID)
 		}
+		if c.Kind < 0 {
+			return nil, fmt.Errorf("platform: core %d has negative kind", c.ID)
+		}
+		if c.Socket < 0 {
+			return nil, fmt.Errorf("platform: core %d has negative socket", c.ID)
+		}
+		if c.Kind > maxKind {
+			maxKind = c.Kind
+		}
+		if c.Socket >= t.numSockets {
+			t.numSockets = c.Socket + 1
+		}
 		t.cores = append(t.cores, c)
 		t.siblings[c.Physical] = append(t.siblings[c.Physical], c.ID)
+	}
+	nKinds := int(maxKind) + 1
+	if nKinds < 2 {
+		nKinds = 2 // legacy recordings always declare the fast/slow pair
+	}
+	if len(names) > nKinds {
+		nKinds = len(names)
+	}
+	t.kindNames = make([]string, nKinds)
+	for k := range t.kindNames {
+		if k < len(names) && names[k] != "" {
+			t.kindNames[k] = names[k]
+		} else {
+			t.kindNames[k] = CoreKind(k).String()
+		}
+	}
+	if t.numSockets < 1 {
+		t.numSockets = 1
 	}
 	return t, nil
 }
@@ -140,6 +245,50 @@ func (t *Topology) Cores() []Core { return t.cores }
 func (t *Topology) Siblings(id CoreID) []CoreID {
 	return t.siblings[t.Core(id).Physical]
 }
+
+// NumKinds returns the number of core types the topology declares.
+func (t *Topology) NumKinds() int { return len(t.kindNames) }
+
+// KindName returns the name of core type k (default name if out of range).
+func (t *Topology) KindName(k CoreKind) string {
+	if int(k) >= 0 && int(k) < len(t.kindNames) {
+		return t.kindNames[k]
+	}
+	return k.String()
+}
+
+// KindNames returns the kind-name table (shared slice; do not mutate).
+func (t *Topology) KindNames() []string { return t.kindNames }
+
+// NumSockets returns the number of sockets the topology spans.
+func (t *Topology) NumSockets() int { return t.numSockets }
+
+// SocketOf returns the socket of logical core id.
+func (t *Topology) SocketOf(id CoreID) int { return t.Core(id).Socket }
+
+// KindsBySpeed returns the kinds that have at least one core, ordered
+// fastest first (ties broken by kind index). This is how policies rank
+// N core types instead of branching on fast-vs-slow.
+func (t *Topology) KindsBySpeed() []CoreKind {
+	speed := make(map[CoreKind]float64)
+	var kinds []CoreKind
+	for _, c := range t.cores {
+		if _, ok := speed[c.Kind]; !ok {
+			speed[c.Kind] = c.Speed
+			kinds = append(kinds, c.Kind)
+		}
+	}
+	sort.SliceStable(kinds, func(i, j int) bool {
+		if speed[kinds[i]] != speed[kinds[j]] {
+			return speed[kinds[i]] > speed[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}
+
+// CoresOfKind returns the ids of all logical cores of type k.
+func (t *Topology) CoresOfKind(k CoreKind) []CoreID { return t.kind(k) }
 
 // FastCores returns the ids of all fast logical cores.
 func (t *Topology) FastCores() []CoreID { return t.kind(FastCore) }

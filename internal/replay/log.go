@@ -72,12 +72,15 @@ func (f *jfloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// wireCore serialises one logical core of the topology.
+// wireCore serialises one logical core of the topology. Socket is
+// omitted when zero, so logs of single-socket machines (and all logs
+// written before the topology-driven machine model) stay byte-compatible.
 type wireCore struct {
 	ID       platform.CoreID   `json:"id"`
 	Kind     platform.CoreKind `json:"kind"`
 	Speed    jfloat            `json:"speed"`
 	Physical int               `json:"phys"`
+	Socket   int               `json:"sock,omitempty"`
 }
 
 // wireThread serialises one registered thread: its id and owning
@@ -113,6 +116,9 @@ type header struct {
 	MemCapacity  jfloat                                `json:"memcap"`
 	Cores        []wireCore                            `json:"cores"`
 	Threads      []wireThread                          `json:"threads"`
+	// KindNames is the topology's core-type name table (index = CoreKind).
+	// Omitted for legacy logs, whose kinds carry the default fast/slow names.
+	KindNames    []string                              `json:"kinds,omitempty"`
 	PolicyConfig json.RawMessage                       `json:"policyConfig,omitempty"`
 	Static       map[platform.ThreadID]platform.CoreID `json:"static,omitempty"`
 }

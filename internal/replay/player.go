@@ -88,9 +88,9 @@ func NewPlayer(r io.Reader) (*Player, error) {
 	}
 	cores := make([]platform.Core, len(h.Cores))
 	for i, c := range h.Cores {
-		cores[i] = platform.Core{ID: c.ID, Kind: c.Kind, Speed: float64(c.Speed), Physical: c.Physical}
+		cores[i] = platform.Core{ID: c.ID, Kind: c.Kind, Speed: float64(c.Speed), Physical: c.Physical, Socket: c.Socket}
 	}
-	topo, err := platform.NewTopology(cores)
+	topo, err := platform.NewTopologyNamed(cores, h.KindNames)
 	if err != nil {
 		return nil, fmt.Errorf("replay: header: %w", err)
 	}

@@ -48,11 +48,12 @@ func (r *Recorder) Start(meta Meta) error {
 		Policy:       meta.Policy,
 		Seed:         meta.Seed,
 		MemCapacity:  jfloat(r.inner.MemCapacity()),
+		KindNames:    topo.KindNames(),
 		PolicyConfig: meta.PolicyConfig,
 		Static:       meta.Static,
 	}
 	for _, c := range topo.Cores() {
-		h.Cores = append(h.Cores, wireCore{ID: c.ID, Kind: c.Kind, Speed: jfloat(c.Speed), Physical: c.Physical})
+		h.Cores = append(h.Cores, wireCore{ID: c.ID, Kind: c.Kind, Speed: jfloat(c.Speed), Physical: c.Physical, Socket: c.Socket})
 	}
 	for _, id := range r.inner.Threads() {
 		proc, err := r.inner.ProcessOf(id)

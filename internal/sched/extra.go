@@ -153,10 +153,11 @@ func OracleAssignment(p platform.Platform, intensity map[platform.ThreadID]float
 			lanes = lane + 1
 		}
 	}
-	// All fast lanes first (a shared fast core still beats a dedicated
-	// slow one at the default SMT penalty), then all slow lanes.
+	// Core types fastest first (a shared fast core still beats a
+	// dedicated slow one at the default SMT penalty), all lanes of one
+	// type before any lane of the next.
 	var order []platform.CoreID
-	for _, kind := range []platform.CoreKind{platform.FastCore, platform.SlowCore} {
+	for _, kind := range topo.KindsBySpeed() {
 		for lane := 0; lane < lanes; lane++ {
 			for phys := 0; phys < len(physSeen); phys++ {
 				id, ok := byLane[laneKey{lane, phys}]

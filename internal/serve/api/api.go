@@ -29,6 +29,12 @@ type RunRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	// MaxTimeMs overrides the simulation safety horizon.
 	MaxTimeMs int64 `json:"max_time_ms,omitempty"`
+	// Machine, when set, is a platform.MachineSpec JSON document: the
+	// topology-driven machine (core types, sockets with per-socket
+	// memory controllers, distance matrix) to simulate on instead of
+	// the default Table I platform. Kept as raw JSON here so the wire
+	// package stays dependency-free; workers validate it on decode.
+	Machine json.RawMessage `json:"machine,omitempty"`
 	// Faults attaches the deterministic fault injector.
 	Faults *FaultRequest `json:"faults,omitempty"`
 	// DeadlineMs bounds the job's wall-clock execution; 0 uses the

@@ -12,6 +12,8 @@ import (
 
 	"dike/internal/fault"
 	"dike/internal/harness"
+	"dike/internal/machine"
+	"dike/internal/platform"
 	"dike/internal/serve/api"
 	"dike/internal/sim"
 	"dike/internal/workload"
@@ -172,6 +174,15 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		Seed:     seed,
 		Scale:    scale,
 		MaxTime:  sim.Time(req.MaxTimeMs),
+	}
+	if len(req.Machine) > 0 {
+		ms, err := platform.ParseMachineSpec(req.Machine)
+		if err != nil {
+			return harness.RunSpec{}, "", err
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.Spec = ms
+		spec.MachineConfig = &mcfg
 	}
 	if req.Faults != nil {
 		classes, err := fault.ParseClasses(req.Faults.Classes)

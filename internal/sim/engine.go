@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // World is the physical system being simulated. The machine model
@@ -53,6 +54,9 @@ type Engine struct {
 	maxT   Time // safety horizon
 	ticks  []TickFunc
 	quanta []TickFunc
+
+	decisionTime time.Duration // wall-clock time spent inside policy.Quantum
+	decisions    int           // number of Quantum calls
 }
 
 // Config parameterises an Engine.
@@ -138,6 +142,14 @@ func (e *Engine) OnQuantum(fn TickFunc) {
 // Now returns the engine's current simulated time.
 func (e *Engine) Now() Time { return e.clock.Now() }
 
+// DecisionCost returns the cumulative wall-clock time spent inside
+// policy.Quantum and the number of decisions taken. The scale benchmark
+// reports their ratio (ns/quantum) so algorithmic regressions in policy
+// decision loops show up as the core count grows.
+func (e *Engine) DecisionCost() (time.Duration, int) {
+	return e.decisionTime, e.decisions
+}
+
 // Run executes the simulation until the world is done. It returns the
 // completion time, or ErrHorizon if MaxTime elapses first. Cancelling
 // ctx aborts the run at the next tick — within one quantum of simulated
@@ -166,7 +178,11 @@ func (e *Engine) Run(ctx context.Context) (Time, error) {
 			return now, &HorizonError{Policy: e.policy.Name(), T: now, Alive: alive}
 		}
 		if now >= nextQuantum {
-			if err := e.policy.Quantum(now); err != nil {
+			wallStart := time.Now()
+			err := e.policy.Quantum(now)
+			e.decisionTime += time.Since(wallStart)
+			e.decisions++
+			if err != nil {
 				return now, fmt.Errorf("sim: policy %q failed at %v: %w", e.policy.Name(), now, err)
 			}
 			ql = e.policy.QuantaLength()
