@@ -35,6 +35,8 @@ func main() {
 		csvFlag    = flag.String("csv", "", "directory to write per-table CSV files into")
 		benchOut   = flag.String("bench-out", "BENCH_scale.json", "file the scale experiment writes raw measurements to")
 		benchBase  = flag.String("bench-baseline", "", "baseline BENCH_scale.json to compare against; exit 1 if ns/quantum regresses >25%")
+		sloOut     = flag.String("slo-out", "BENCH_slo.json", "file the slo experiment writes raw measurements to")
+		sloBase    = flag.String("slo-baseline", "", "baseline BENCH_slo.json to compare against; exit 1 if worst-tenant p99 regresses >25%")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 		Workers:    *workerFlag,
 		Quick:      *quickFlag,
 		BenchOut:   *benchOut,
+		SLOOut:     *sloOut,
 	}
 
 	var ids []string
@@ -88,7 +91,37 @@ func main() {
 				cli.Fatal(err)
 			}
 		}
+		if rep.ID == "slo" && *sloBase != "" {
+			if err := checkSLOBaseline(*sloOut, *sloBase); err != nil {
+				cli.Fatal(err)
+			}
+		}
 	}
+}
+
+// checkSLOBaseline compares the slo experiment's fresh measurements
+// against a committed baseline and fails on a >25% worst-tenant p99
+// sojourn regression at any (load, policy) point both files measured.
+// Sojourns are simulated time, so a trip is a real scheduling change,
+// not wall-clock noise.
+func checkSLOBaseline(current, baseline string) error {
+	cur, err := harness.LoadBenchSLO(current)
+	if err != nil {
+		return err
+	}
+	base, err := harness.LoadBenchSLO(baseline)
+	if err != nil {
+		return err
+	}
+	regressions := harness.CompareBenchSLO(cur, base, 0.25)
+	if len(regressions) == 0 {
+		fmt.Printf("tail latency within 25%% of baseline %s\n", baseline)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "tail latency regression: "+r)
+	}
+	return fmt.Errorf("%d tail-latency regression(s) vs %s", len(regressions), baseline)
 }
 
 // checkBenchBaseline compares the scale experiment's fresh measurements

@@ -10,6 +10,13 @@
 //	dikesim -wl 7 -policy dike-af -seed 7       # adaptive, different seed
 //	dikesim -apps jacobi,srad -policy dike      # custom two-app workload
 //	dikesim -wl 6 -machine big.json             # topology-driven machine spec
+//	dikesim -traffic colo.json -policy dike-af  # open-loop traffic scenario
+//	dikesim -traffic colo.json -load 0.8        # same, at 80% offered load
+//
+// With -traffic the run is open-loop: requests arrive, execute and
+// depart per the scenario's arrival processes, and the output is
+// per-tenant sojourn-time percentiles, SLO violations and fairness
+// instead of benchmark completion times. -wl/-apps/-scale are ignored.
 //
 // Record/replay:
 //
@@ -37,6 +44,7 @@ import (
 	"dike/internal/harness"
 	"dike/internal/machine"
 	"dike/internal/platform"
+	"dike/internal/traffic"
 	"dike/internal/workload"
 )
 
@@ -53,6 +61,8 @@ func main() {
 		frateFlag  = flag.Float64("fault-rate", 1, "multiplier on all fault-class base probabilities")
 		fseedFlag  = flag.Uint64("fault-seed", 1, "fault injector seed (same seed = identical fault schedule)")
 		machFlag   = flag.String("machine", "", "JSON machine spec file (core types, sockets, memory controllers, distance matrix); default is the Table I machine")
+		trafFlag   = flag.String("traffic", "", "JSON open-loop traffic spec file; replaces -wl/-apps with arrival-driven requests")
+		loadFlag   = flag.Float64("load", 0, "override the traffic spec's offered-load multiplier (requires -traffic)")
 		recordFlag = flag.String("record", "", "write a replay log of the run to this file")
 		replayFlag = flag.String("replay", "", "re-run a recorded log instead of simulating; other run flags are ignored")
 		digestFlag = flag.Bool("digest", false, "print only the deterministic decision digest")
@@ -64,19 +74,33 @@ func main() {
 		return
 	}
 
-	var w *workload.Workload
-	var err error
-	if *appsFlag != "" {
-		w, err = customWorkload(*appsFlag, *kmeansFlag)
+	var spec harness.RunSpec
+	if *trafFlag != "" {
+		ts, err := traffic.LoadSpec(*trafFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if *loadFlag != 0 {
+			ts.Load = *loadFlag
+		}
+		spec = harness.RunSpec{Traffic: ts, Policy: *policyFlag, Seed: *seedFlag}
 	} else {
-		w, err = workload.Table2(*wlFlag)
-	}
-	if err != nil {
-		cli.Fatal(err)
-	}
-
-	spec := harness.RunSpec{
-		Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
+		if *loadFlag != 0 {
+			cli.Fatal(fmt.Errorf("-load requires -traffic"))
+		}
+		var w *workload.Workload
+		var err error
+		if *appsFlag != "" {
+			w, err = customWorkload(*appsFlag, *kmeansFlag)
+		} else {
+			w, err = workload.Table2(*wlFlag)
+		}
+		if err != nil {
+			cli.Fatal(err)
+		}
+		spec = harness.RunSpec{
+			Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
+		}
 	}
 	if *machFlag != "" {
 		ms, err := platform.LoadMachineSpec(*machFlag)
@@ -126,6 +150,11 @@ func main() {
 		return
 	}
 
+	if out.Traffic != nil {
+		printTraffic(spec.Policy, out)
+		return
+	}
+
 	r := out.Result
 	fmt.Printf("workload   %s (%s)\npolicy     %s\n", r.Workload, r.Type, r.Policy)
 	fmt.Printf("fairness   %.4f (Eqn 4)\n", r.Fairness)
@@ -164,6 +193,35 @@ func main() {
 		}
 		fmt.Printf("%-15s %-6s %9.1fs %9.1fs %8.4f%s\n",
 			b.Name, classOf(b.Name), b.Time/1000, b.MeanThreadTime/1000, b.CV, tag)
+	}
+}
+
+// printTraffic reports an open-loop run: totals, fairness and the
+// per-tenant sojourn/SLO table.
+func printTraffic(policy string, out *harness.RunOutput) {
+	tr := out.Traffic
+	fmt.Printf("scenario   %s (open-loop, load %.2f)\npolicy     %s\n", tr.Name, tr.Load, policy)
+	fmt.Printf("arrivals   %d admitted %d rejected %d completed %d killed %d\n",
+		tr.Arrivals, tr.Admitted, tr.Rejected, tr.Completed, tr.Killed)
+	fmt.Printf("fairness   jain %.4f  min/max %.4f (weight-normalized inverse slowdown)\n",
+		tr.FairnessJain, tr.FairnessMinMax)
+	fmt.Printf("drained    %.1fs\n", float64(tr.DrainedAtMs)/1000)
+	if out.History != nil {
+		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
+			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
+	}
+	fmt.Println()
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s %9s %9s\n",
+		"class", "complete", "p50", "p95", "p99", "max", "slowdown", "slo", "viol%")
+	for _, c := range tr.Classes {
+		slo := "-"
+		viol := "-"
+		if c.SLOMs > 0 {
+			slo = fmt.Sprintf("%.0fms", c.SLOMs)
+			viol = fmt.Sprintf("%.1f", 100*c.ViolationRate)
+		}
+		fmt.Printf("%-12s %8d %7.0fms %7.0fms %7.0fms %7.0fms %8.2f %9s %9s\n",
+			c.Name, c.Completed, c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs, c.Slowdown, slo, viol)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"dike/internal/fault"
 	"dike/internal/machine"
 	"dike/internal/sim"
+	"dike/internal/traffic"
 )
 
 // specKey is the canonical serialization Digest hashes: every RunSpec
@@ -32,6 +33,10 @@ type specKey struct {
 	Step     sim.Time
 	MaxTime  sim.Time
 	Faults   *fault.Config `json:",omitempty"`
+	// Traffic is appended last with omitempty so every pre-existing
+	// (closed-loop) spec keeps a byte-identical canonical encoding — and
+	// therefore its digest — exactly like Machine.Spec before it.
+	Traffic *traffic.Spec `json:",omitempty"`
 }
 
 // Digest returns a content address for the run the spec describes: a
@@ -58,6 +63,7 @@ func (s RunSpec) Digest() (string, error) {
 		Step:     s.Step,
 		MaxTime:  s.MaxTime,
 		Faults:   s.Faults,
+		Traffic:  s.Traffic,
 	}
 	if s.MachineConfig != nil {
 		key.Machine = *s.MachineConfig

@@ -26,6 +26,9 @@ type Options struct {
 	// `scale`) write their raw machine-readable measurements
 	// (BENCH_scale.json). Empty disables the file.
 	BenchOut string
+	// SLOOut, when set, is where the `slo` experiment writes its raw
+	// measurements (BENCH_slo.json). Empty disables the file.
+	SLOOut string
 }
 
 // withDefaults fills unset fields.

@@ -167,7 +167,7 @@ func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
 		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds", "faults",
-		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "scale", "tab1", "tab2",
+		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "scale", "slo", "tab1", "tab2",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)

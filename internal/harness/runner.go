@@ -21,6 +21,7 @@ import (
 	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
+	"dike/internal/traffic"
 	"dike/internal/workload"
 )
 
@@ -46,8 +47,17 @@ var ComparisonPolicies = []string{PolicyDIO, PolicyDike, PolicyDikeAF, PolicyDik
 
 // RunSpec describes one simulation run.
 type RunSpec struct {
-	// Workload to execute (required).
+	// Workload to execute. Exactly one of Workload and Traffic is
+	// required.
 	Workload *workload.Workload
+	// Traffic, when set, runs an open-loop multi-tenant scenario instead
+	// of a closed-loop workload: the spec's arrival processes spawn
+	// short-lived request threads, admission control gates them, and the
+	// run's result carries sojourn percentiles, SLO violations and
+	// per-tenant fairness (RunOutput.Traffic). Scale is ignored — demand
+	// is per-request — and the default horizon stretches to cover the
+	// arrival window plus drain.
+	Traffic *traffic.Spec
 	// Policy is one of the Policy* names (required).
 	Policy string
 	// DikeConfig overrides the Dike configuration; only consulted for
@@ -101,10 +111,13 @@ type Progress struct {
 // Spec validation errors. Run wraps these with the offending detail;
 // match with errors.Is.
 var (
-	// ErrNoWorkload reports a spec without a workload.
+	// ErrNoWorkload reports a spec without a workload or traffic scenario.
 	ErrNoWorkload = errors.New("harness: spec has no workload")
 	// ErrUnknownPolicy reports a policy name outside the Policy* set.
 	ErrUnknownPolicy = errors.New("harness: unknown policy")
+	// ErrAmbiguousSource reports a spec with both a workload and a
+	// traffic scenario — the run would have two thread sources.
+	ErrAmbiguousSource = errors.New("harness: spec has both workload and traffic")
 )
 
 // knownPolicies is the accepted RunSpec.Policy set.
@@ -116,11 +129,17 @@ var knownPolicies = map[string]bool{
 // Validate reports the first problem with the spec, or nil. Run calls
 // it; sweep builders call it early to fail before spawning workers.
 func (s RunSpec) Validate() error {
-	if s.Workload == nil {
+	if s.Workload == nil && s.Traffic == nil {
 		return fmt.Errorf("%w (policy %q)", ErrNoWorkload, s.Policy)
+	}
+	if s.Workload != nil && s.Traffic != nil {
+		return fmt.Errorf("%w (policy %q)", ErrAmbiguousSource, s.Policy)
 	}
 	if !knownPolicies[s.Policy] {
 		return fmt.Errorf("%w %q", ErrUnknownPolicy, s.Policy)
+	}
+	if s.Traffic != nil {
+		return s.Traffic.Validate()
 	}
 	return nil
 }
@@ -148,6 +167,12 @@ type RunOutput struct {
 	Trace *RunTrace
 	// FaultStats counts the faults actually injected (nil without Faults).
 	FaultStats *fault.Stats
+	// Traffic carries the open-loop scenario result — per-class sojourn
+	// percentiles, SLO violations, admission counts and per-tenant
+	// fairness. Nil for closed-loop runs. Result is synthesized from it
+	// (one bench per tenant class) so every downstream consumer of
+	// RunResult keeps working.
+	Traffic *traffic.Result
 	// WatchdogTrips / FailedSwaps / Sanitized report Dike's degradation
 	// bookkeeping: last-known-good reverts, swaps that silently failed
 	// and were rolled back, and counter readings dropped/rejected/clamped
@@ -172,7 +197,13 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst, err := spec.Workload.Build(m, workload.BuildOptions{Seed: spec.Seed, Scale: spec.Scale})
+	var inst *workload.Instance
+	var tr *traffic.Run
+	if spec.Traffic != nil {
+		tr, err = traffic.Build(m, *spec.Traffic, spec.Seed)
+	} else {
+		inst, err = spec.Workload.Build(m, workload.BuildOptions{Seed: spec.Seed, Scale: spec.Scale})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +225,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		plat = rec
 	}
 
-	policy, dk, meta, err := buildPolicy(spec, plat, inst)
+	policy, dk, meta, err := buildPolicy(spec, plat, inst, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -211,13 +242,26 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	}
 	if spec.MaxTime > 0 {
 		ecfg.MaxTime = spec.MaxTime
+	} else if tr != nil {
+		// Open-loop runs must outlast the arrival window plus drain; the
+		// closed-loop default horizon may be shorter than the window
+		// itself, so stretch it deterministically from the spec.
+		if h := sim.Time(spec.Traffic.HorizonMs) * 10; h > ecfg.MaxTime {
+			ecfg.MaxTime = h
+		}
 	}
 	engine, err := sim.NewEngine(m, policy, ecfg)
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		// The traffic accountant ticks with the engine: departures are
+		// retired and due arrivals admitted (or rejected) before the new
+		// thread's first tick of execution.
+		engine.OnTick(tr.Tick)
+	}
 	var rt *RunTrace
-	if spec.TraceEvery > 0 {
+	if spec.TraceEvery > 0 && inst != nil {
 		rt = attachTrace(engine, m, inst, spec.TraceEvery, inj)
 	}
 	if spec.OnProgress != nil {
@@ -243,11 +287,18 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		}
 	}
 
-	result, err := metrics.Collect(m, inst, spec.Policy)
-	if err != nil {
-		return nil, err
+	var result *metrics.RunResult
+	var tres *traffic.Result
+	if tr != nil {
+		tres = tr.Finalize(done)
+		result = trafficRunResult(spec.Policy, tres, m)
+	} else {
+		result, err = metrics.Collect(m, inst, spec.Policy)
+		if err != nil {
+			return nil, err
+		}
 	}
-	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt}
+	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt, Traffic: tres}
 	out.DecisionTime, out.Decisions = engine.DecisionCost()
 	if inj != nil {
 		st := inj.Stats()
@@ -269,7 +320,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 // metadata a recording of the run must carry to rebuild the policy: the
 // resolved Dike configuration, or the oracle's static assignment (which
 // is derived from workload ground truth unavailable at replay time).
-func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance) (sched.Policy, *core.Dike, replay.Meta, error) {
+func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance, tr *traffic.Run) (sched.Policy, *core.Dike, replay.Meta, error) {
 	meta := replay.Meta{Policy: spec.Policy, Seed: spec.Seed}
 	switch spec.Policy {
 	case PolicyCFS:
@@ -282,8 +333,14 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance) 
 		return sched.NewRotate(plat, spec.Seed), nil, meta, nil
 	case PolicyOracle:
 		intensity := make(map[platform.ThreadID]float64)
-		for _, ti := range inst.Threads {
-			intensity[ti.ID] = spec.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
+		if tr != nil {
+			for id, x := range tr.Intensity() {
+				intensity[platform.ThreadID(id)] = x
+			}
+		} else {
+			for _, ti := range inst.Threads {
+				intensity[ti.ID] = spec.Workload.Benchmarks[ti.Bench].Profile.MeanMissesPerWork()
+			}
 		}
 		st, err := sched.NewStatic(plat, sched.OracleAssignment(plat, intensity))
 		if err != nil {
@@ -317,6 +374,43 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance) 
 		return dk, dk, meta, nil
 	}
 	return nil, nil, meta, fmt.Errorf("%w %q", ErrUnknownPolicy, spec.Policy)
+}
+
+// trafficRunResult synthesizes a metrics.RunResult from an open-loop
+// scenario result: one bench per tenant class with sojourn statistics in
+// the completion-time fields, and the per-tenant Jain index as Fairness.
+// Downstream consumers (the serve API, report tables) read RunResult
+// uniformly for both run kinds.
+func trafficRunResult(policy string, tres *traffic.Result, m *machine.Machine) *metrics.RunResult {
+	res := &metrics.RunResult{
+		Policy:     policy,
+		Workload:   "traffic:" + tres.Name,
+		Type:       workload.Balanced,
+		Fairness:   tres.FairnessJain,
+		Makespan:   float64(tres.DrainedAtMs),
+		Swaps:      m.SwapCount(),
+		Migrations: m.MigrationCount(),
+	}
+	sum, n := 0.0, 0
+	for _, c := range tres.Classes {
+		cv := 0.0
+		if c.MeanMs > 0 {
+			// Not a true CV; the p99/mean ratio is the dispersion signal
+			// that matters for tail latency.
+			cv = c.P99Ms/c.MeanMs - 1
+		}
+		res.Benches = append(res.Benches, metrics.BenchResult{
+			Name: c.Name, Time: c.MaxMs, MeanThreadTime: c.MeanMs, CV: cv,
+		})
+		if c.Completed > 0 {
+			sum += c.MeanMs
+			n++
+		}
+	}
+	if n > 0 {
+		res.AvgTime = sum / float64(n)
+	}
+	return res
 }
 
 // RunAll executes specs concurrently on up to workers goroutines (each

@@ -21,18 +21,23 @@ func init() {
 const BenchScaleSchema = "dike/bench-scale/v1"
 
 // BenchScaleEntry is one (machine point, policy) measurement of the
-// scale sweep.
+// scale sweep. AllocsPerQuantum and RunsPerSec are additive v1 fields:
+// heap allocations per scheduling quantum over the whole run and whole
+// simulations per wall-clock second, both measured on serial runs so
+// concurrent simulations cannot attribute each other's work.
 type BenchScaleEntry struct {
-	Point        string  `json:"point"`
-	Logical      int     `json:"logical"`
-	Sockets      int     `json:"sockets"`
-	CoreTypes    int     `json:"core_types"`
-	Policy       string  `json:"policy"`
-	NsPerQuantum float64 `json:"ns_per_quantum"`
-	Quanta       int     `json:"quanta"`
-	Fairness     float64 `json:"fairness"`
-	Swaps        int     `json:"swaps"`
-	WallMs       float64 `json:"wall_ms"`
+	Point            string  `json:"point"`
+	Logical          int     `json:"logical"`
+	Sockets          int     `json:"sockets"`
+	CoreTypes        int     `json:"core_types"`
+	Policy           string  `json:"policy"`
+	NsPerQuantum     float64 `json:"ns_per_quantum"`
+	Quanta           int     `json:"quanta"`
+	Fairness         float64 `json:"fairness"`
+	Swaps            int     `json:"swaps"`
+	WallMs           float64 `json:"wall_ms"`
+	AllocsPerQuantum float64 `json:"allocs_per_quantum"`
+	RunsPerSec       float64 `json:"runs_per_sec"`
 }
 
 // BenchScale is the BENCH_scale.json document.
@@ -214,47 +219,44 @@ func runScale(optsIn Options) (*Report, error) {
 	// work scale keeps runs to a few hundred quanta per point.
 	benchScale := opts.SweepScale * 0.2
 
-	var specs []RunSpec
-	var keys []int // parallel to specs: index into points
-	for pi, p := range points {
+	bench := &BenchScale{Schema: BenchScaleSchema, Seed: opts.Seed, Scale: benchScale, Quick: opts.Quick}
+	t := &Table{
+		Title:  "Decision cost and fairness across the 40→1024-core grid",
+		Header: []string{"machine", "logical", "sockets", "types", "policy", "ns/quantum", "quanta", "fairness", "swaps", "allocs/quantum", "runs/sec"},
+	}
+	// Runs are serial (not RunAll) so the per-run heap and wall-clock
+	// measurements are attributable to one simulation.
+	for _, p := range points {
 		w, err := scaleWorkload(p.logical, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, pol := range scalePolicies {
 			cfg := p.cfg
-			specs = append(specs, RunSpec{
+			spec := RunSpec{
 				Workload: w, Policy: pol, Seed: opts.Seed, Scale: benchScale,
 				MachineConfig: &cfg,
+			}
+			out, apq, rps, err := measuredRun(context.Background(), spec)
+			if err != nil {
+				return nil, fmt.Errorf("scale %s/%s: %w", p.name, pol, err)
+			}
+			nsq := 0.0
+			if out.Decisions > 0 {
+				nsq = float64(out.DecisionTime.Nanoseconds()) / float64(out.Decisions)
+			}
+			bench.Entries = append(bench.Entries, BenchScaleEntry{
+				Point: p.name, Logical: p.logical, Sockets: p.sockets, CoreTypes: p.coreTypes,
+				Policy: pol, NsPerQuantum: nsq, Quanta: out.Decisions,
+				Fairness: out.Result.Fairness, Swaps: out.Result.Swaps,
+				WallMs:           float64(out.DecisionTime.Microseconds()) / 1000,
+				AllocsPerQuantum: apq, RunsPerSec: rps,
 			})
-			keys = append(keys, pi)
+			t.AddRow(p.name, p.logical, p.sockets, p.coreTypes, pol,
+				fmt.Sprintf("%.0f", nsq), out.Decisions,
+				fmt.Sprintf("%.4f", out.Result.Fairness), out.Result.Swaps,
+				fmt.Sprintf("%.0f", apq), fmt.Sprintf("%.2f", rps))
 		}
-	}
-	outs, err := RunAll(context.Background(), specs, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-
-	bench := &BenchScale{Schema: BenchScaleSchema, Seed: opts.Seed, Scale: benchScale, Quick: opts.Quick}
-	t := &Table{
-		Title:  "Decision cost and fairness across the 40→1024-core grid",
-		Header: []string{"machine", "logical", "sockets", "types", "policy", "ns/quantum", "quanta", "fairness", "swaps"},
-	}
-	for i, out := range outs {
-		p := points[keys[i]]
-		nsq := 0.0
-		if out.Decisions > 0 {
-			nsq = float64(out.DecisionTime.Nanoseconds()) / float64(out.Decisions)
-		}
-		bench.Entries = append(bench.Entries, BenchScaleEntry{
-			Point: p.name, Logical: p.logical, Sockets: p.sockets, CoreTypes: p.coreTypes,
-			Policy: out.Spec.Policy, NsPerQuantum: nsq, Quanta: out.Decisions,
-			Fairness: out.Result.Fairness, Swaps: out.Result.Swaps,
-			WallMs: float64(out.DecisionTime.Microseconds()) / 1000,
-		})
-		t.AddRow(p.name, p.logical, p.sockets, p.coreTypes, out.Spec.Policy,
-			fmt.Sprintf("%.0f", nsq), out.Decisions,
-			fmt.Sprintf("%.4f", out.Result.Fairness), out.Result.Swaps)
 	}
 	if opts.BenchOut != "" {
 		blob, err := json.MarshalIndent(bench, "", "  ")
@@ -267,6 +269,7 @@ func runScale(optsIn Options) (*Report, error) {
 	}
 	notes := []string{
 		fmt.Sprintf("seed %d, work scale %.3f; ns/quantum is wall-clock inside policy.Quantum", opts.Seed, benchScale),
+		"runs are serial so allocs/quantum and runs/sec attribute cleanly",
 	}
 	if opts.BenchOut != "" {
 		notes = append(notes, "raw measurements written to "+opts.BenchOut)

@@ -630,6 +630,52 @@ func (m *Machine) Finished(id ThreadID) (sim.Time, bool) {
 	return t.finishAt, true
 }
 
+// Terminate ends a thread at time `at` with whatever work it has done.
+// The open-loop traffic layer uses it for admission control: a rejected
+// arrival is terminated the instant it would have entered the system, so
+// it never occupies a lane. Terminating a finished thread is a no-op.
+func (m *Machine) Terminate(id ThreadID, at sim.Time) error {
+	t, ok := m.threads[id]
+	if !ok {
+		return fmt.Errorf("machine: unknown thread %d", id)
+	}
+	if t.finished {
+		return nil
+	}
+	t.finished = true
+	if at < t.startAt {
+		at = t.startAt
+	}
+	t.finishAt = at
+	return nil
+}
+
+// IdleUntil implements sim.Idler: when no unfinished thread has arrived
+// by now, it returns the earliest future arrival time — the next instant
+// at which the machine can make progress — and true. It returns false
+// while any arrived thread is still running (or when the machine is
+// done), so the engine only fast-forwards through genuinely empty
+// intervals of an open-loop run.
+func (m *Machine) IdleUntil(now sim.Time) (sim.Time, bool) {
+	wake := sim.Time(-1)
+	for _, id := range m.order {
+		t := m.threads[id]
+		if t.finished {
+			continue
+		}
+		if t.startAt <= now {
+			return 0, false // runnable work exists right now
+		}
+		if wake < 0 || t.startAt < wake {
+			wake = t.startAt
+		}
+	}
+	if wake < 0 {
+		return 0, false
+	}
+	return wake, true
+}
+
 // Progress returns the fraction of its total work a thread has completed.
 func (m *Machine) Progress(id ThreadID) float64 {
 	t, ok := m.threads[id]

@@ -35,6 +35,12 @@ type RunRequest struct {
 	// the default Table I platform. Kept as raw JSON here so the wire
 	// package stays dependency-free; workers validate it on decode.
 	Machine json.RawMessage `json:"machine,omitempty"`
+	// Traffic, when set, is a traffic.Spec JSON document: an open-loop
+	// multi-tenant scenario (arrival processes, SLO classes, admission
+	// caps) that replaces the closed-loop workload sources entirely —
+	// it takes precedence over Generator/Apps/Workload, and Scale is
+	// ignored. Raw JSON for the same reason as Machine.
+	Traffic json.RawMessage `json:"traffic,omitempty"`
 	// Faults attaches the deterministic fault injector.
 	Faults *FaultRequest `json:"faults,omitempty"`
 	// DeadlineMs bounds the job's wall-clock execution; 0 uses the
@@ -108,6 +114,44 @@ type RunResult struct {
 	Faults int `json:"faults,omitempty"`
 	// Benches holds per-application outcomes.
 	Benches []BenchResult `json:"benches"`
+	// Traffic holds the open-loop scenario outcome when the run was
+	// traffic-driven (RunRequest.Traffic set); nil for closed-loop runs.
+	Traffic *TrafficResult `json:"traffic,omitempty"`
+}
+
+// TrafficResult mirrors traffic.Result over the wire: scenario totals,
+// per-tenant fairness and per-class sojourn/SLO outcomes.
+type TrafficResult struct {
+	Name           string               `json:"name"`
+	Load           float64              `json:"load"`
+	Arrivals       int                  `json:"arrivals"`
+	Admitted       int                  `json:"admitted"`
+	Rejected       int                  `json:"rejected,omitempty"`
+	Completed      int                  `json:"completed"`
+	Killed         int                  `json:"killed,omitempty"`
+	FairnessJain   float64              `json:"fairness_jain"`
+	FairnessMinMax float64              `json:"fairness_minmax"`
+	DrainedAtMs    int64                `json:"drained_at_ms"`
+	Classes        []TrafficClassResult `json:"classes"`
+}
+
+// TrafficClassResult is one tenant class's outcome inside a
+// TrafficResult.
+type TrafficClassResult struct {
+	Name          string  `json:"name"`
+	SLOMs         float64 `json:"slo_ms,omitempty"`
+	Arrivals      int     `json:"arrivals"`
+	Admitted      int     `json:"admitted"`
+	Rejected      int     `json:"rejected,omitempty"`
+	Completed     int     `json:"completed"`
+	Killed        int     `json:"killed,omitempty"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	ViolationRate float64 `json:"violation_rate"`
+	Slowdown      float64 `json:"slowdown"`
 }
 
 // BenchResult is one application's outcome inside a RunResult.

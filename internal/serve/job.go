@@ -16,6 +16,7 @@ import (
 	"dike/internal/platform"
 	"dike/internal/serve/api"
 	"dike/internal/sim"
+	"dike/internal/traffic"
 	"dike/internal/workload"
 )
 
@@ -115,6 +116,9 @@ func terminal(status string) bool { return api.Terminal(status) }
 // resolving the request exactly the way the worker that executes it
 // will.
 func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
+	if len(req.Traffic) > 0 {
+		return buildTrafficRunSpec(req)
+	}
 	var w *workload.Workload
 	var err error
 	switch {
@@ -208,6 +212,60 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	return spec, digest, nil
 }
 
+// buildTrafficRunSpec resolves an open-loop request: the traffic spec
+// replaces every workload source, and Scale does not apply (the
+// arrival horizon sizes the run).
+func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
+	ts, err := traffic.ParseSpec(req.Traffic)
+	if err != nil {
+		return harness.RunSpec{}, "", err
+	}
+	if req.Scale != 0 {
+		return harness.RunSpec{}, "", fmt.Errorf("serve: scale does not apply to traffic runs")
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	spec := harness.RunSpec{
+		Traffic: ts,
+		Policy:  req.Policy,
+		Seed:    seed,
+		MaxTime: sim.Time(req.MaxTimeMs),
+	}
+	if len(req.Machine) > 0 {
+		ms, err := platform.ParseMachineSpec(req.Machine)
+		if err != nil {
+			return harness.RunSpec{}, "", err
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.Spec = ms
+		spec.MachineConfig = &mcfg
+	}
+	if req.Faults != nil {
+		classes, err := fault.ParseClasses(req.Faults.Classes)
+		if err != nil {
+			return harness.RunSpec{}, "", err
+		}
+		if classes != 0 {
+			fc := fault.DefaultConfig()
+			fc.Classes = classes
+			if req.Faults.Rate != 0 {
+				fc.Rate = req.Faults.Rate
+			}
+			if req.Faults.Seed != 0 {
+				fc.Seed = req.Faults.Seed
+			}
+			spec.Faults = &fc
+		}
+	}
+	digest, err := spec.Digest() // also validates policy and traffic spec
+	if err != nil {
+		return harness.RunSpec{}, "", err
+	}
+	return spec, digest, nil
+}
+
 // runResult converts a finished harness run into the API result.
 func runResult(out *harness.RunOutput) RunResult {
 	r := out.Result
@@ -235,6 +293,30 @@ func runResult(out *harness.RunOutput) RunResult {
 	for _, b := range r.Benches {
 		res.Benches = append(res.Benches, BenchResult{
 			Name: b.Name, Extra: b.Extra, TimeMs: b.Time, CV: b.CV,
+		})
+	}
+	if tr := out.Traffic; tr != nil {
+		res.Traffic = trafficResult(tr)
+	}
+	return res
+}
+
+// trafficResult converts a traffic.Result into its wire mirror.
+func trafficResult(tr *traffic.Result) *api.TrafficResult {
+	res := &api.TrafficResult{
+		Name: tr.Name, Load: tr.Load,
+		Arrivals: tr.Arrivals, Admitted: tr.Admitted, Rejected: tr.Rejected,
+		Completed: tr.Completed, Killed: tr.Killed,
+		FairnessJain: tr.FairnessJain, FairnessMinMax: tr.FairnessMinMax,
+		DrainedAtMs: tr.DrainedAtMs,
+	}
+	for _, c := range tr.Classes {
+		res.Classes = append(res.Classes, api.TrafficClassResult{
+			Name: c.Name, SLOMs: c.SLOMs,
+			Arrivals: c.Arrivals, Admitted: c.Admitted, Rejected: c.Rejected,
+			Completed: c.Completed, Killed: c.Killed,
+			MeanMs: c.MeanMs, P50Ms: c.P50Ms, P95Ms: c.P95Ms, P99Ms: c.P99Ms, MaxMs: c.MaxMs,
+			ViolationRate: c.ViolationRate, Slowdown: c.Slowdown,
 		})
 	}
 	return res

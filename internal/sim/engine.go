@@ -41,6 +41,18 @@ type LiveCounter interface {
 	AliveCount() int
 }
 
+// Idler is optionally implemented by Worlds whose runnable set can
+// momentarily drain — open-loop workloads where every arrived thread has
+// finished but more arrivals are scheduled. IdleUntil reports whether
+// the world is idle at now and, if so, the earliest future time at which
+// it can make progress again (the next arrival). The engine then
+// fast-forwards to that instant in one step instead of grinding through
+// empty ticks — but never past a quantum boundary or the horizon, so
+// policy decision streams are identical with and without the skip.
+type Idler interface {
+	IdleUntil(now Time) (Time, bool)
+}
+
 // TickFunc is an observer invoked after every engine tick; the tracer uses
 // it to sample time series at fixed resolution.
 type TickFunc func(now Time)
@@ -200,6 +212,23 @@ func (e *Engine) Run(ctx context.Context) (Time, error) {
 		dt := e.step
 		if now+dt > nextQuantum {
 			dt = nextQuantum - now
+		}
+		// Empty interval: every arrived thread has finished but more are
+		// due. Jump straight to the next arrival (capped at the quantum
+		// boundary and the horizon) rather than ticking through the gap.
+		if idler, ok := e.world.(Idler); ok {
+			if wake, idle := idler.IdleUntil(now); idle && wake > now+dt {
+				jump := wake
+				if jump > nextQuantum {
+					jump = nextQuantum
+				}
+				if jump > e.maxT {
+					jump = e.maxT
+				}
+				if jump > now+dt {
+					dt = jump - now
+				}
+			}
 		}
 		e.world.Step(now, dt)
 		e.clock.advance(dt)

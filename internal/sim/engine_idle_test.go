@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// fakeIdleWorld is a world that is empty (all threads pending) until
+// wake, then runs runFor of simulated work like fakeWorld.
+type fakeIdleWorld struct {
+	fakeWorld
+	wake Time
+	now  Time
+}
+
+func (w *fakeIdleWorld) Step(now Time, dt Time) {
+	w.now = now + dt
+	if w.now > w.wake {
+		// Work only accumulates once the first thread has arrived.
+		run := dt
+		if now < w.wake {
+			run = w.now - w.wake
+		}
+		w.elapsed += run
+	}
+	w.steps = append(w.steps, dt)
+}
+
+func (w *fakeIdleWorld) IdleUntil(now Time) (Time, bool) {
+	if now < w.wake {
+		return w.wake, true
+	}
+	return 0, false
+}
+
+func TestEngineIdleSkipJumpsToWake(t *testing.T) {
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 50}, wake: 450}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	done, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 500 {
+		t.Errorf("completion time = %v, want 500 (wake 450 + 50 work)", done)
+	}
+	// The empty interval must be crossed in quantum-sized jumps — never
+	// past a quantum boundary, so the policy's decision schedule is the
+	// one a tick-by-tick run would produce.
+	for i, c := range p.calls {
+		if c != Time(i)*p.ql {
+			t.Fatalf("quantum calls = %v, want multiples of %v", p.calls, p.ql)
+		}
+	}
+	// Crossing 0→400 must take 4 steps (one per quantum), not 400 ticks.
+	jumps := 0
+	for _, dt := range w.steps {
+		if dt == 100 {
+			jumps++
+		}
+		if dt > 100 {
+			t.Fatalf("step dt=%v crossed a quantum boundary", dt)
+		}
+	}
+	if jumps < 4 {
+		t.Errorf("idle interval stepped %d×100ms jumps, want ≥4 (steps: %d total)", jumps, len(w.steps))
+	}
+}
+
+func TestEngineIdleSkipFinalJumpStopsAtWake(t *testing.T) {
+	// Wake mid-quantum: the jump from 400 must stop at 450 exactly, so
+	// the first thread's arrival tick is simulated, not skipped.
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 10}, wake: 450}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	var at Time
+	for _, dt := range w.steps {
+		at += dt
+		if at == 450 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no step boundary at wake time 450; steps %v", w.steps)
+	}
+}
+
+func TestEngineIdleSkipRespectsHorizon(t *testing.T) {
+	// A world whose first arrival is beyond MaxTime must still fail with
+	// HorizonError at MaxTime — and fast, in quantum jumps.
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 1}, wake: 1 << 40}
+	p := &fakePolicy{ql: 100}
+	cfg := DefaultConfig()
+	cfg.MaxTime = 1000
+	e, _ := NewEngine(w, p, cfg)
+	_, err := e.Run(context.Background())
+	var herr *HorizonError
+	if !errors.As(err, &herr) {
+		t.Fatalf("err = %v, want *HorizonError", err)
+	}
+	if herr.T != 1000 {
+		t.Errorf("HorizonError.T = %v, want 1000", herr.T)
+	}
+	if len(w.steps) > 20 {
+		t.Errorf("idle crossing to the horizon took %d steps, want quantum jumps (≤20)", len(w.steps))
+	}
+}
+
+func TestEngineIdleSkipInactiveWhenBusy(t *testing.T) {
+	// A world that is never idle must step tick by tick exactly as before.
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 20}, wake: 0}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.steps) != 20 {
+		t.Errorf("busy world took %d steps, want 20 1ms ticks", len(w.steps))
+	}
+}

@@ -162,7 +162,7 @@ func (w *Workload) Build(m *machine.Machine, opts BuildOptions) (*Instance, erro
 	for bi, b := range w.Benchmarks {
 		prof := b.Profile
 		if scale != 1 {
-			prof = scaleProfile(prof, scale)
+			prof = prof.Scale(scale)
 		}
 		var members []machine.ThreadID
 		for t := 0; t < b.Threads; t++ {
@@ -190,9 +190,11 @@ func (w *Workload) Build(m *machine.Machine, opts BuildOptions) (*Instance, erro
 	return inst, nil
 }
 
-// scaleProfile returns a copy of p with all phase work multiplied by s.
-// Barrier intervals scale too, so coupling granularity stays proportional.
-func scaleProfile(p *Profile, s float64) *Profile {
+// Scale returns a copy of p with all phase work multiplied by s. Barrier
+// intervals scale too, so coupling granularity stays proportional. The
+// traffic layer uses it to size one request's service demand from an
+// application profile.
+func (p *Profile) Scale(s float64) *Profile {
 	cp := *p
 	cp.Phases = make([]Phase, len(p.Phases))
 	for i, ph := range p.Phases {
