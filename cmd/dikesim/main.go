@@ -150,8 +150,25 @@ func main() {
 		return
 	}
 
+	writeTrace := func() {
+		if *traceFlag == "" || out.Trace == nil {
+			return
+		}
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := out.Trace.WriteCSV(f); err != nil {
+			f.Close()
+			cli.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("trace      %s\n", *traceFlag)
+	}
+
 	if out.Traffic != nil {
 		printTraffic(spec.Policy, out)
+		writeTrace()
 		return
 	}
 
@@ -172,18 +189,7 @@ func main() {
 				out.FailedSwaps, out.WatchdogTrips)
 		}
 	}
-	if *traceFlag != "" && out.Trace != nil {
-		f, err := os.Create(*traceFlag)
-		if err != nil {
-			cli.Fatal(err)
-		}
-		if err := out.Trace.WriteCSV(f); err != nil {
-			f.Close()
-			cli.Fatal(err)
-		}
-		f.Close()
-		fmt.Printf("trace      %s\n", *traceFlag)
-	}
+	writeTrace()
 	fmt.Println()
 	fmt.Printf("%-15s %-6s %10s %10s %8s\n", "benchmark", "class", "time", "mean", "cv")
 	for _, b := range r.Benches {

@@ -76,6 +76,9 @@ type RunSpec struct {
 	// MaxTime overrides the simulation horizon (0 = engine default).
 	MaxTime sim.Time
 	// TraceEvery, if positive, samples a RunTrace at that period (ms).
+	// Traffic runs capture the machine-level series only: the progress
+	// dispersion series needs a fixed benchmark set, so it is nil for
+	// open-loop runs.
 	TraceEvery sim.Time
 	// Faults, if non-nil, attaches a fault injector to the machine with
 	// this configuration. The injector is deterministic in its seed, so
@@ -142,6 +145,16 @@ func (s RunSpec) Validate() error {
 		return s.Traffic.Validate()
 	}
 	return nil
+}
+
+// sourceName labels the run's thread source in error messages: the
+// workload name for closed-loop runs, the traffic scenario label for
+// open-loop ones. Validate guarantees exactly one is set.
+func (s RunSpec) sourceName() string {
+	if s.Workload != nil {
+		return s.Workload.Name
+	}
+	return "traffic:" + s.Traffic.Label()
 }
 
 // RunOutput bundles a finished run's metrics and, for Dike runs, the
@@ -261,7 +274,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		engine.OnTick(tr.Tick)
 	}
 	var rt *RunTrace
-	if spec.TraceEvery > 0 && inst != nil {
+	if spec.TraceEvery > 0 {
 		rt = attachTrace(engine, m, inst, spec.TraceEvery, inj)
 	}
 	if spec.OnProgress != nil {
@@ -279,7 +292,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	}
 	done, err := engine.Run(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", spec.Policy, spec.Workload.Name, err)
+		return nil, fmt.Errorf("harness: %s on %s: %w", spec.Policy, spec.sourceName(), err)
 	}
 	if rec != nil {
 		if err := rec.Flush(); err != nil {

@@ -22,7 +22,8 @@ type RunTrace struct {
 	Swaps *trace.Series
 	// Dispersion is the mean over main benchmarks of the coefficient of
 	// variation of their threads' progress fractions — a live proxy for
-	// the final Eqn 4 fairness (lower = fairer).
+	// the final Eqn 4 fairness (lower = fairer). Nil for open-loop
+	// traffic runs, which have no fixed benchmark set to disperse over.
 	Dispersion *trace.Series
 	// Faults is the cumulative count of injected faults; nil when the run
 	// has no fault injector attached.
@@ -31,14 +32,18 @@ type RunTrace struct {
 	inj *fault.Injector
 }
 
-// newRunTrace allocates the series set. inj may be nil.
-func newRunTrace(inj *fault.Injector) *RunTrace {
+// newRunTrace allocates the series set. inj may be nil (no fault
+// series); withDispersion is false for traffic runs (no dispersion
+// series).
+func newRunTrace(inj *fault.Injector, withDispersion bool) *RunTrace {
 	rt := &RunTrace{
 		Utilization: trace.NewSeries("mem_util"),
 		Alive:       trace.NewSeries("alive_threads"),
 		Swaps:       trace.NewSeries("cumulative_swaps"),
-		Dispersion:  trace.NewSeries("progress_dispersion"),
 		inj:         inj,
+	}
+	if withDispersion {
+		rt.Dispersion = trace.NewSeries("progress_dispersion")
 	}
 	if inj != nil {
 		rt.Faults = trace.NewSeries("cumulative_faults")
@@ -54,6 +59,9 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 	rt.Swaps.Add(t, float64(m.SwapCount()))
 	if rt.Faults != nil {
 		rt.Faults.Add(t, float64(rt.inj.Stats().Total()))
+	}
+	if rt.Dispersion == nil {
+		return
 	}
 
 	cvSum, n := 0.0, 0
@@ -75,7 +83,10 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 
 // WriteCSV exports all trace series in wide form.
 func (rt *RunTrace) WriteCSV(w io.Writer) error {
-	series := []*trace.Series{rt.Utilization, rt.Alive, rt.Swaps, rt.Dispersion}
+	series := []*trace.Series{rt.Utilization, rt.Alive, rt.Swaps}
+	if rt.Dispersion != nil {
+		series = append(series, rt.Dispersion)
+	}
 	if rt.Faults != nil {
 		series = append(series, rt.Faults)
 	}
@@ -83,9 +94,10 @@ func (rt *RunTrace) WriteCSV(w io.Writer) error {
 }
 
 // attachTrace hooks a RunTrace onto the engine at the given sample
-// period. inj may be nil (no fault series).
+// period. inj may be nil (no fault series); inst may be nil for
+// open-loop traffic runs (no dispersion series).
 func attachTrace(engine *sim.Engine, m *machine.Machine, inst *workload.Instance, every sim.Time, inj *fault.Injector) *RunTrace {
-	rt := newRunTrace(inj)
+	rt := newRunTrace(inj, inst != nil)
 	var last sim.Time = -every
 	engine.OnTick(func(now sim.Time) {
 		if now-last >= every {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dike/internal/traffic"
@@ -106,6 +107,50 @@ func TestTrafficRecordReplayByteParity(t *testing.T) {
 	}
 	if got := Digest(rep.Policy, rep.History); got != live {
 		t.Fatalf("traffic replay digest differs:\nlive:\n%s\nreplay:\n%s", live, got)
+	}
+}
+
+// TestTrafficCancelledRunNamesSource pins the engine error path for
+// open-loop runs: spec.Workload is nil, so the error message must name
+// the traffic scenario instead of panicking.
+func TestTrafficCancelledRunNamesSource(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, RunSpec{Traffic: testTrafficSpec(), Policy: PolicyCFS, Seed: 42})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "traffic:test-colo") {
+		t.Errorf("error %q does not name the traffic source", err)
+	}
+}
+
+// TestTrafficRunTrace: TraceEvery on an open-loop run captures the
+// machine-level series; the dispersion series needs a fixed benchmark
+// set and stays nil.
+func TestTrafficRunTrace(t *testing.T) {
+	out, err := Run(context.Background(), RunSpec{
+		Traffic: testTrafficSpec(), Policy: PolicyCFS, Seed: 42, TraceEvery: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := out.Trace
+	if rt == nil {
+		t.Fatal("no trace captured for traffic run")
+	}
+	if rt.Utilization.Len() == 0 || rt.Alive.Len() == 0 || rt.Swaps.Len() == 0 {
+		t.Fatal("empty machine-level trace series")
+	}
+	if rt.Dispersion != nil {
+		t.Error("dispersion series present without a fixed benchmark set")
+	}
+	var sb strings.Builder
+	if err := rt.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "time_ms,mem_util,alive_threads,cumulative_swaps") {
+		t.Errorf("csv header: %q", strings.SplitN(sb.String(), "\n", 2)[0])
 	}
 }
 

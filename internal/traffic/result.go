@@ -81,7 +81,7 @@ func percentile(sorted []float64, q float64) float64 {
 // result folds the accumulated class aggregates into a Result.
 func (r *Run) result(endAt sim.Time) *Result {
 	res := &Result{
-		Name:        r.spec.name(),
+		Name:        r.spec.Label(),
 		Load:        r.spec.load(),
 		DrainedAtMs: int64(endAt),
 	}
@@ -126,11 +126,15 @@ func (r *Run) result(endAt sim.Time) *Result {
 				cr.Slowdown = cr.MeanMs / cr.MeanServiceMs
 			}
 			if cr.Slowdown > 0 {
+				// A weight-w tenant is entitled to 1/w of the slowdown, so
+				// its normalized slowdown is w*Slowdown and its share the
+				// inverse: equal shares when slowdowns are inversely
+				// proportional to weight.
 				w := c.Weight
 				if w == 0 {
 					w = 1
 				}
-				shares = append(shares, w/cr.Slowdown)
+				shares = append(shares, 1/(w*cr.Slowdown))
 			}
 		}
 		res.Arrivals += cr.Arrivals

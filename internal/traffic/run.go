@@ -54,7 +54,7 @@ func Build(m *machine.Machine, spec Spec, seed uint64) (*Run, error) {
 	}
 	arrivals := spec.Generate(seed)
 	if len(arrivals) == 0 {
-		return nil, fmt.Errorf("traffic: spec %q generated no arrivals (horizon %dms)", spec.name(), spec.HorizonMs)
+		return nil, fmt.Errorf("traffic: spec %q generated no arrivals (horizon %dms)", spec.Label(), spec.HorizonMs)
 	}
 	profs, err := classProfiles(spec)
 	if err != nil {

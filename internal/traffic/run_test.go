@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"math"
 	"testing"
 
 	"dike/internal/machine"
@@ -175,6 +176,44 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Errorf("percentile(empty) = %g, want 0", got)
+	}
+}
+
+func TestFairnessWeightDirection(t *testing.T) {
+	// Per ClassSpec.Weight, a weight-2 tenant is entitled to half the
+	// slowdown of a weight-1 tenant. Synthesize both outcomes directly:
+	// each class completes one request of 1 work unit on a speed-1
+	// machine (1ms uncontended service), so the sojourn IS the slowdown.
+	build := func(heavySojourn, lightSojourn float64) *Run {
+		return &Run{
+			spec: Spec{Name: "w", HorizonMs: 1, Classes: []ClassSpec{
+				{Name: "heavy", Weight: 2}, {Name: "light"},
+			}},
+			maxSpeed: 1,
+			agg: []classAgg{
+				{admitted: 1, completed: 1, sojourns: []float64{heavySojourn}, workDone: 1},
+				{admitted: 1, completed: 1, sojourns: []float64{lightSojourn}, workDone: 1},
+			},
+		}
+	}
+	// Proportional: the heavy tenant slowed half as much (2x vs 4x) is
+	// exactly its entitlement — perfect fairness.
+	prop := build(2, 4).result(4)
+	if math.Abs(prop.FairnessJain-1) > 1e-12 || math.Abs(prop.FairnessMinMax-1) > 1e-12 {
+		t.Errorf("proportional slowdowns: jain=%g minmax=%g, want 1, 1",
+			prop.FairnessJain, prop.FairnessMinMax)
+	}
+	// Inverted: the heavy tenant slowed MORE must score strictly worse,
+	// and worse than equal slowdowns too.
+	inv := build(4, 2).result(4)
+	if inv.FairnessJain >= prop.FairnessJain {
+		t.Errorf("inverted slowdowns scored jain %g >= proportional %g",
+			inv.FairnessJain, prop.FairnessJain)
+	}
+	eq := build(3, 3).result(3)
+	if inv.FairnessMinMax >= eq.FairnessMinMax {
+		t.Errorf("inverted slowdowns scored minmax %g >= equal-slowdown %g",
+			inv.FairnessMinMax, eq.FairnessMinMax)
 	}
 }
 

@@ -208,8 +208,8 @@ func classProfiles(s Spec) ([]*workload.Profile, error) {
 	return out, nil
 }
 
-// name returns the scenario label.
-func (s *Spec) name() string {
+// Label returns the scenario label: Name, or "traffic" when unset.
+func (s *Spec) Label() string {
 	if s.Name != "" {
 		return s.Name
 	}
