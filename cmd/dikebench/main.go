@@ -37,6 +37,11 @@ func main() {
 		benchBase  = flag.String("bench-baseline", "", "baseline BENCH_scale.json to compare against; exit 1 if ns/quantum regresses >25%")
 		sloOut     = flag.String("slo-out", "BENCH_slo.json", "file the slo experiment writes raw measurements to")
 		sloBase    = flag.String("slo-baseline", "", "baseline BENCH_slo.json to compare against; exit 1 if worst-tenant p99 regresses >25%")
+		tourOut    = flag.String("tournament-out", "BENCH_tournament.json", "file the tournament experiment writes its leaderboard to")
+		tourBase   = flag.String("tournament-baseline", "", "baseline BENCH_tournament.json; exit 1 if any cell's p99 regresses >25% or the meta policy misses its regret bar")
+		tourRegret = flag.Float64("tournament-regret", 0.10, "max meta-policy regret vs per-load oracle-best when gating against -tournament-baseline")
+		tourStore  = flag.String("tournament-store", "", "durable store directory caching tournament cells by run digest")
+		tourServer = flag.String("tournament-server", "", "dikeserved/dikecoord base URL to submit tournament cells to instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -48,13 +53,16 @@ func main() {
 	}
 
 	opts := harness.Options{
-		Seed:       *seedFlag,
-		Scale:      *scaleFlag,
-		SweepScale: *sweepFlag,
-		Workers:    *workerFlag,
-		Quick:      *quickFlag,
-		BenchOut:   *benchOut,
-		SLOOut:     *sloOut,
+		Seed:             *seedFlag,
+		Scale:            *scaleFlag,
+		SweepScale:       *sweepFlag,
+		Workers:          *workerFlag,
+		Quick:            *quickFlag,
+		BenchOut:         *benchOut,
+		SLOOut:           *sloOut,
+		TournamentOut:    *tourOut,
+		TournamentStore:  *tourStore,
+		TournamentServer: *tourServer,
 	}
 
 	var ids []string
@@ -96,7 +104,38 @@ func main() {
 				cli.Fatal(err)
 			}
 		}
+		if rep.ID == "tournament" && *tourBase != "" {
+			if err := checkTournamentBaseline(*tourOut, *tourBase, *tourRegret); err != nil {
+				cli.Fatal(err)
+			}
+		}
 	}
+}
+
+// checkTournamentBaseline gates the tournament leaderboard two ways:
+// per-cell p99 drift against a committed baseline (like the slo gate),
+// and the absolute meta-scheduling bars — meta beats the worst fixed
+// policy and stays within regretMax of the per-load oracle-best.
+func checkTournamentBaseline(current, baseline string, regretMax float64) error {
+	cur, err := harness.LoadBenchTournament(current)
+	if err != nil {
+		return err
+	}
+	base, err := harness.LoadBenchTournament(baseline)
+	if err != nil {
+		return err
+	}
+	problems := harness.CompareBenchTournament(cur, base, 0.25)
+	problems = append(problems, harness.GateBenchTournament(cur, regretMax)...)
+	if len(problems) == 0 {
+		fmt.Printf("leaderboard within 25%% of baseline %s; meta within %.0f%% of oracle-best at every load\n",
+			baseline, 100*regretMax)
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "tournament gate: "+p)
+	}
+	return fmt.Errorf("%d tournament gate violation(s) vs %s", len(problems), baseline)
 }
 
 // checkSLOBaseline compares the slo experiment's fresh measurements

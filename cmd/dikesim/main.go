@@ -33,7 +33,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +46,7 @@ import (
 	"dike/internal/harness"
 	"dike/internal/machine"
 	"dike/internal/platform"
+	"dike/internal/tournament"
 	"dike/internal/traffic"
 	"dike/internal/workload"
 )
@@ -66,8 +69,21 @@ func main() {
 		recordFlag = flag.String("record", "", "write a replay log of the run to this file")
 		replayFlag = flag.String("replay", "", "re-run a recorded log instead of simulating; other run flags are ignored")
 		digestFlag = flag.Bool("digest", false, "print only the deterministic decision digest")
+		metaFlag   = flag.String("meta", "", "JSON tournament config file overriding the meta policy's defaults (requires -policy meta)")
+		listFlag   = flag.Bool("list-policies", false, "list registered scheduling policies and exit")
 	)
 	flag.Parse()
+
+	if *listFlag {
+		for _, p := range harness.Policies() {
+			tag := ""
+			if p.MetaCandidate {
+				tag = " [meta-eligible]"
+			}
+			fmt.Printf("%-8s %s%s\n", p.Name, p.Description, tag)
+		}
+		return
+	}
 
 	if *replayFlag != "" {
 		replayRun(*replayFlag, *digestFlag)
@@ -101,6 +117,16 @@ func main() {
 		spec = harness.RunSpec{
 			Workload: w, Policy: *policyFlag, Seed: *seedFlag, Scale: *scaleFlag,
 		}
+	}
+	if *metaFlag != "" {
+		if *policyFlag != harness.PolicyMeta {
+			cli.Fatal(fmt.Errorf("-meta requires -policy %s", harness.PolicyMeta))
+		}
+		mc, err := loadMetaConfig(*metaFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		spec.Meta = mc
 	}
 	if *machFlag != "" {
 		ms, err := platform.LoadMachineSpec(*machFlag)
@@ -146,7 +172,7 @@ func main() {
 		}
 	}
 	if *digestFlag {
-		fmt.Print(harness.Digest(spec.Policy, out.History))
+		fmt.Print(harness.RunDigest(spec.Policy, out.History, out.MetaStats))
 		return
 	}
 
@@ -168,6 +194,7 @@ func main() {
 
 	if out.Traffic != nil {
 		printTraffic(spec.Policy, out)
+		printMeta(out.MetaStats)
 		writeTrace()
 		return
 	}
@@ -189,6 +216,7 @@ func main() {
 				out.FailedSwaps, out.WatchdogTrips)
 		}
 	}
+	printMeta(out.MetaStats)
 	writeTrace()
 	fmt.Println()
 	fmt.Printf("%-15s %-6s %10s %10s %8s\n", "benchmark", "class", "time", "mean", "cv")
@@ -231,6 +259,42 @@ func printTraffic(policy string, out *harness.RunOutput) {
 	}
 }
 
+// printMeta reports the meta policy's tournament record: switch count,
+// shadow work, and the live-policy timeline (one entry per change).
+func printMeta(ms *tournament.Stats) {
+	if ms == nil {
+		return
+	}
+	fmt.Printf("meta       %d epoch(s), %d switch(es), %d shadow quanta, objective %s\n",
+		len(ms.Epochs), ms.Switches, ms.ShadowQuanta, ms.Objective)
+	var tl strings.Builder
+	cur := ""
+	for _, ep := range ms.Epochs {
+		if ep.Live != cur {
+			fmt.Fprintf(&tl, " %dms:%s", ep.TimeMs, ep.Live)
+			cur = ep.Live
+		}
+	}
+	fmt.Printf("live       %s ->%s (final %s)\n", ms.Candidates[0], tl.String(), ms.FinalPolicy)
+}
+
+// loadMetaConfig reads a tournament config JSON file, rejecting unknown
+// fields so a typo'd key fails loudly instead of silently running the
+// defaults.
+func loadMetaConfig(path string) (*tournament.Config, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var cfg tournament.Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("meta config %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
 // replayRun re-executes a recorded log and reports the verified run.
 func replayRun(path string, digest bool) {
 	f, err := os.Open(path)
@@ -243,7 +307,7 @@ func replayRun(path string, digest bool) {
 		cli.Fatal(err)
 	}
 	if digest {
-		fmt.Print(harness.Digest(out.Policy, out.History))
+		fmt.Print(harness.RunDigest(out.Policy, out.History, out.MetaStats))
 		return
 	}
 	fmt.Printf("replayed   %s (seed %d)\n", out.Policy, out.Seed)

@@ -10,6 +10,7 @@ import (
 	"dike/internal/fault"
 	"dike/internal/machine"
 	"dike/internal/sim"
+	"dike/internal/tournament"
 	"dike/internal/traffic"
 )
 
@@ -37,6 +38,10 @@ type specKey struct {
 	// (closed-loop) spec keeps a byte-identical canonical encoding — and
 	// therefore its digest — exactly like Machine.Spec before it.
 	Traffic *traffic.Spec `json:",omitempty"`
+	// Meta follows the same trailing-omitempty rule: set only for the
+	// meta policy (in fully resolved form), so every fixed-policy spec
+	// keeps its digest.
+	Meta *tournament.Config `json:",omitempty"`
 }
 
 // Digest returns a content address for the run the spec describes: a
@@ -87,6 +92,13 @@ func (s RunSpec) Digest() (string, error) {
 		}
 		cfg.PlacementSeed = s.Seed
 		key.Dike = &cfg
+	case PolicyMeta:
+		// Resolve exactly as buildMeta does (Validate already vetted it).
+		mcfg, err := resolveMetaConfig(s)
+		if err != nil {
+			return "", err
+		}
+		key.Meta = &mcfg
 	}
 	blob, err := json.Marshal(key)
 	if err != nil {

@@ -29,6 +29,23 @@ type Options struct {
 	// SLOOut, when set, is where the `slo` experiment writes its raw
 	// measurements (BENCH_slo.json). Empty disables the file.
 	SLOOut string
+	// TournamentOut, when set, is where the `tournament` experiment
+	// writes its leaderboard (BENCH_tournament.json). The document holds
+	// simulated measurements only — no wall-clock or cache-status fields
+	// — so two runs of the same grid produce byte-identical files.
+	TournamentOut string
+	// TournamentStore, when set, is a durable run-store directory the
+	// `tournament` experiment caches cell results in, content-addressed
+	// by RunSpec digest: re-running the grid replays cached cells
+	// instead of simulating. The directory is the experiment's own cache
+	// (same store engine as dikeserved, separate payload format — do not
+	// point it at a server's store directory).
+	TournamentStore string
+	// TournamentServer, when set, is the base URL of a dikeserved or
+	// dikecoord instance the `tournament` experiment submits its grid
+	// cells to instead of simulating locally; the server's digest cache
+	// and durable store then dedup repeated grids.
+	TournamentServer string
 }
 
 // withDefaults fills unset fields.

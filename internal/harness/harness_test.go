@@ -168,6 +168,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds", "faults",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "scale", "slo", "tab1", "tab2",
+		"tournament",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)

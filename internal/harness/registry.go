@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+
+	"dike/internal/core"
+	"dike/internal/platform"
+	"dike/internal/sched"
+	"dike/internal/sim"
+	"dike/internal/tournament"
+)
+
+// PolicyInfo describes one registered scheduling policy.
+type PolicyInfo struct {
+	// Name is the RunSpec.Policy value.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// MetaCandidate reports whether the meta scheduler can audition the
+	// policy in a shadow tournament. The oracle cannot (it needs ground
+	// truth only available at build time) and meta itself cannot (no
+	// recursive tournaments).
+	MetaCandidate bool
+}
+
+// policyRegistry is the authoritative policy list, in presentation
+// order. Validate, the meta tournament's candidate discovery and
+// `dikesim -list-policies` all derive from it.
+var policyRegistry = []PolicyInfo{
+	{PolicyCFS, "CFS-like: spread threads once, never migrate", true},
+	{PolicyDIO, "DIO: swap the extreme access-rate pair every 100 ms", true},
+	{PolicyDike, "the paper's predictive scheduler, fixed <8,500>", true},
+	{PolicyDikeAF, "Dike with fairness-adaptive parameter tuning", true},
+	{PolicyDikeAP, "Dike with performance-adaptive parameter tuning", true},
+	{PolicyNull, "place once on core 0 order, never act (worst case)", true},
+	{PolicyRotate, "rotate every thread one core per quantum", true},
+	{PolicyOracle, "static placement from offline ground truth", false},
+	{PolicyMeta, "competitive meta-scheduler: shadow tournaments pick the live policy", false},
+}
+
+// Policies returns the registered policies in presentation order.
+func Policies() []PolicyInfo {
+	return append([]PolicyInfo(nil), policyRegistry...)
+}
+
+// DefaultMetaCandidates is the candidate set a meta run auditions when
+// the spec names none: the paper's comparison policies that are
+// shadow-eligible. The first candidate is the initial live policy; DIO
+// leads because its fine decision cadence picks up fresh arrivals
+// fastest, which is the safest opening stance while the tournament has
+// no history to judge — the first epochs then demote it wherever a
+// steadier policy fits the offered load better.
+var DefaultMetaCandidates = []string{PolicyDIO, PolicyDikeAF, PolicyCFS, PolicyDike}
+
+// metaCandidateOK reports whether name is a shadow-eligible registered
+// policy.
+func metaCandidateOK(name string) bool {
+	for _, p := range policyRegistry {
+		if p.Name == name {
+			return p.MetaCandidate
+		}
+	}
+	return false
+}
+
+// resolveMetaConfig resolves a spec's tournament configuration exactly
+// as buildPolicy will use it: defaults filled, the default candidate
+// set applied, and every candidate checked against the registry. Digest
+// hashes this resolved form, so "nil config" and "explicitly the
+// defaults" address the same run.
+func resolveMetaConfig(s RunSpec) (tournament.Config, error) {
+	cfg := tournament.Config{}
+	if s.Meta != nil {
+		cfg = *s.Meta
+	}
+	cfg = cfg.WithDefaults()
+	if len(cfg.Candidates) == 0 {
+		cfg.Candidates = append([]string(nil), DefaultMetaCandidates...)
+	}
+	for _, name := range cfg.Candidates {
+		if !metaCandidateOK(name) {
+			return cfg, fmt.Errorf("%w %q (not meta-eligible)", ErrUnknownPolicy, name)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// candidateFactory returns a tournament factory for a shadow-eligible
+// policy name. The factories mirror buildPolicy's construction for the
+// same names — same configs, same seeds — so a candidate that wins a
+// tournament behaves exactly like a fixed run of that policy would.
+func candidateFactory(name string) tournament.PolicyFactory {
+	return func(p platform.Platform, seed uint64) (sim.Policy, error) {
+		switch name {
+		case PolicyCFS:
+			return sched.NewCFS(p, seed), nil
+		case PolicyNull:
+			return sched.NewNull(p, seed), nil
+		case PolicyDIO:
+			return sched.NewDIO(p, seed), nil
+		case PolicyRotate:
+			return sched.NewRotate(p, seed), nil
+		case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+			cfg := core.DefaultConfig()
+			switch name {
+			case PolicyDike:
+				cfg.Goal = core.AdaptNone
+			case PolicyDikeAF:
+				cfg.Goal = core.AdaptFairness
+			case PolicyDikeAP:
+				cfg.Goal = core.AdaptPerformance
+			}
+			cfg.PlacementSeed = seed
+			return core.New(p, cfg)
+		}
+		return nil, fmt.Errorf("%w %q (as meta candidate)", ErrUnknownPolicy, name)
+	}
+}
+
+// buildMeta constructs the meta policy for spec over plat and returns
+// it with the resolved config (which the recorder persists so replays
+// rebuild the identical tournament).
+func buildMeta(spec RunSpec, plat platform.Platform) (*tournament.Meta, tournament.Config, error) {
+	cfg, err := resolveMetaConfig(spec)
+	if err != nil {
+		return nil, cfg, err
+	}
+	cands := make([]tournament.Candidate, len(cfg.Candidates))
+	for i, name := range cfg.Candidates {
+		cands[i] = tournament.Candidate{Name: name, New: candidateFactory(name)}
+	}
+	mp, err := tournament.NewMeta(plat, cfg, spec.Seed, cands)
+	return mp, cfg, err
+}

@@ -11,6 +11,7 @@ import (
 	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
+	"dike/internal/tournament"
 )
 
 // ReplayOutput is what a replayed run yields. There is no machine model
@@ -33,6 +34,10 @@ type ReplayOutput struct {
 	WatchdogTrips             int
 	FailedSwaps               int
 	Sanitized                 core.SanitizeStats
+	// MetaStats mirrors RunOutput.MetaStats for replayed meta runs: the
+	// reconstructed tournament record, which must digest identically to
+	// the live run's.
+	MetaStats *tournament.Stats
 }
 
 // Replay re-runs a recorded log: it rebuilds the policy named in the
@@ -79,6 +84,25 @@ func Replay(r io.Reader) (*ReplayOutput, error) {
 			return nil, err
 		}
 		policy = dk
+	case PolicyMeta:
+		var cfg tournament.Config
+		if len(meta.PolicyConfig) > 0 {
+			if err := json.Unmarshal(meta.PolicyConfig, &cfg); err != nil {
+				return nil, fmt.Errorf("harness: log meta config: %w", err)
+			}
+		}
+		if len(cfg.Candidates) == 0 {
+			cfg.Candidates = append([]string(nil), DefaultMetaCandidates...)
+		}
+		cands := make([]tournament.Candidate, len(cfg.Candidates))
+		for i, name := range cfg.Candidates {
+			cands[i] = tournament.Candidate{Name: name, New: candidateFactory(name)}
+		}
+		mp, err := tournament.NewMeta(p, cfg, meta.Seed, cands)
+		if err != nil {
+			return nil, err
+		}
+		policy = mp
 	default:
 		return nil, fmt.Errorf("%w %q (in replay log)", ErrUnknownPolicy, meta.Policy)
 	}
@@ -101,7 +125,23 @@ func Replay(r io.Reader) (*ReplayOutput, error) {
 		out.FailedSwaps = dk.FailedSwaps()
 		out.Sanitized = dk.SanitizedTotal()
 	}
+	if mp, ok := policy.(*tournament.Meta); ok {
+		out.MetaStats = mp.Stats()
+	}
 	return out, nil
+}
+
+// RunDigest extends Digest with the meta policy's tournament stream:
+// for fixed-policy runs it is exactly Digest; for meta runs the epoch
+// records (times, scores, switches) join the content address, so two
+// meta runs are byte-identical only when every tournament decided
+// identically.
+func RunDigest(policy string, hist []core.QuantumRecord, ms *tournament.Stats) string {
+	d := Digest(policy, hist)
+	if ms != nil {
+		d += ms.Digest()
+	}
+	return d
 }
 
 // Digest renders a run's per-quantum decision stream as deterministic

@@ -21,6 +21,7 @@ import (
 	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
+	"dike/internal/tournament"
 	"dike/internal/traffic"
 	"dike/internal/workload"
 )
@@ -39,6 +40,11 @@ const (
 	// (the HASS family from related work).
 	PolicyRotate = "rotate"
 	PolicyOracle = "oracle"
+	// PolicyMeta is the competitive meta-scheduler: it runs one
+	// candidate policy live, audits the whole candidate set in shadow
+	// tournaments every epoch and switches to the winner. See
+	// internal/tournament and RunSpec.Meta.
+	PolicyMeta = "meta"
 )
 
 // ComparisonPolicies are the four schedulers of Fig 6 / Table III, in
@@ -63,6 +69,10 @@ type RunSpec struct {
 	// DikeConfig overrides the Dike configuration; only consulted for
 	// the dike policies. Goal is forced to match the policy name.
 	DikeConfig *core.Config
+	// Meta overrides the tournament configuration; only consulted for
+	// the meta policy. Nil means tournament.DefaultConfig with the
+	// DefaultMetaCandidates set.
+	Meta *tournament.Config
 	// MachineConfig overrides machine.DefaultConfig.
 	MachineConfig *machine.Config
 	// Seed controls workload noise and the shared initial placement.
@@ -123,11 +133,15 @@ var (
 	ErrAmbiguousSource = errors.New("harness: spec has both workload and traffic")
 )
 
-// knownPolicies is the accepted RunSpec.Policy set.
-var knownPolicies = map[string]bool{
-	PolicyCFS: true, PolicyDIO: true, PolicyDike: true, PolicyDikeAF: true,
-	PolicyDikeAP: true, PolicyNull: true, PolicyRotate: true, PolicyOracle: true,
-}
+// knownPolicies is the accepted RunSpec.Policy set, derived from the
+// registry in registry.go.
+var knownPolicies = func() map[string]bool {
+	m := make(map[string]bool, len(policyRegistry))
+	for _, p := range policyRegistry {
+		m[p.Name] = true
+	}
+	return m
+}()
 
 // Validate reports the first problem with the spec, or nil. Run calls
 // it; sweep builders call it early to fail before spawning workers.
@@ -140,6 +154,11 @@ func (s RunSpec) Validate() error {
 	}
 	if !knownPolicies[s.Policy] {
 		return fmt.Errorf("%w %q", ErrUnknownPolicy, s.Policy)
+	}
+	if s.Policy == PolicyMeta {
+		if _, err := resolveMetaConfig(s); err != nil {
+			return err
+		}
 	}
 	if s.Traffic != nil {
 		return s.Traffic.Validate()
@@ -186,6 +205,9 @@ type RunOutput struct {
 	// (one bench per tenant class) so every downstream consumer of
 	// RunResult keeps working.
 	Traffic *traffic.Result
+	// MetaStats carries the meta policy's tournament record — epochs,
+	// scores, switches. Nil for fixed-policy runs.
+	MetaStats *tournament.Stats
 	// WatchdogTrips / FailedSwaps / Sanitized report Dike's degradation
 	// bookkeeping: last-known-good reverts, swaps that silently failed
 	// and were rolled back, and counter readings dropped/rejected/clamped
@@ -242,6 +264,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	if err != nil {
 		return nil, err
 	}
+	mp, _ := policy.(*tournament.Meta)
 	if rec != nil {
 		if err := rec.Start(meta); err != nil {
 			return nil, err
@@ -317,6 +340,9 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		st := inj.Stats()
 		out.FaultStats = &st
 	}
+	if mp != nil {
+		out.MetaStats = mp.Stats()
+	}
 	if dk != nil {
 		out.PredMin, out.PredAvg, out.PredMax = dk.PredictionStats().MinAvgMax()
 		out.ErrSeries = dk.ErrorSeries()
@@ -385,6 +411,17 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance, 
 		}
 		meta.PolicyConfig = blob
 		return dk, dk, meta, nil
+	case PolicyMeta:
+		mp, cfg, err := buildMeta(spec, plat)
+		if err != nil {
+			return nil, nil, meta, err
+		}
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, nil, meta, err
+		}
+		meta.PolicyConfig = blob
+		return mp, nil, meta, nil
 	}
 	return nil, nil, meta, fmt.Errorf("%w %q", ErrUnknownPolicy, spec.Policy)
 }

@@ -96,6 +96,31 @@ func TestIdleUntilReportsNextArrival(t *testing.T) {
 	}
 }
 
+func TestIdleUntilEmptyMachineAtStart(t *testing.T) {
+	// A machine that is completely empty at t=0 — every thread has a
+	// future start — is idle immediately, waking at the earliest arrival;
+	// and driving it through the engine completes the work rather than
+	// spinning on the empty interval.
+	m := testMachine(t)
+	for id, start := range []sim.Time{70, 200} {
+		place(t, m, ThreadID(id), 0, 50, Demand{}, CoreID(id))
+		if err := m.SetStart(ThreadID(id), start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wake, idle := m.IdleUntil(0)
+	if !idle || wake != 70 {
+		t.Errorf("IdleUntil(0) = (%v, %v), want (70, true)", wake, idle)
+	}
+	done := run(t, m, 10_000)
+	if !m.Done() {
+		t.Fatal("machine not done")
+	}
+	if done < 200 {
+		t.Errorf("completion at %v, before the last thread's arrival at 200", done)
+	}
+}
+
 func TestIdleUntilSkipsFinishedThreads(t *testing.T) {
 	m := testMachine(t)
 	place(t, m, 0, 0, 100, Demand{}, 0)

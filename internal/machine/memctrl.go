@@ -72,6 +72,21 @@ type contentionSolver struct {
 	ctrl    *MemController
 	overlap float64 // fraction of miss latency hidden by MLP/prefetch
 	hitLat  float64 // ms per LLC hit
+
+	// Warm-start memo: the previous call's exact inputs and outputs.
+	// Demands are phase-piecewise-constant and attainable rates change
+	// only on placement, DVFS or cold-decay events, so consecutive ticks
+	// within a steady phase present bit-identical inputs; serving the
+	// memoized solution skips the whole fixed-point iteration without
+	// perturbing a single float (the cached outputs came from the
+	// identical cold computation). Any difference — including NaN, which
+	// never compares equal — falls through to the cold path.
+	memoRates   []float64
+	memoDem     []Demand
+	memoLat     []float64
+	memoOut     []float64
+	memoOffered float64
+	memoOK      bool
 }
 
 // solve computes per-thread progress rates. rates[i] is the attainable
@@ -80,9 +95,13 @@ type contentionSolver struct {
 // per-miss stall for that thread (NUMA-remote accesses after a
 // cross-socket migration). The result is written into out (len must
 // match) and the converged aggregate offered miss rate is returned.
-func (s contentionSolver) solve(rates []float64, dem []Demand, latMult []float64, out []float64) float64 {
+func (s *contentionSolver) solve(rates []float64, dem []Demand, latMult []float64, out []float64) float64 {
 	if len(rates) != len(dem) || len(rates) != len(out) || len(rates) != len(latMult) {
 		panic("machine: contention solver length mismatch")
+	}
+	if s.memoHit(rates, dem, latMult) {
+		copy(out, s.memoOut)
+		return s.memoOffered
 	}
 	// Start from the uncontended latency.
 	latency := s.ctrl.Latency(0)
@@ -111,5 +130,32 @@ func (s contentionSolver) solve(rates []float64, dem []Demand, latMult []float64
 		// Damped update for stability near saturation.
 		latency = 0.5*latency + 0.5*next
 	}
+	s.memoize(rates, dem, latMult, out, offered)
 	return offered
+}
+
+// memoHit reports whether the inputs are bit-identical to the previous
+// call's. NaN inputs never hit (NaN != NaN), which is the conservative
+// direction.
+func (s *contentionSolver) memoHit(rates []float64, dem []Demand, latMult []float64) bool {
+	if !s.memoOK || len(rates) != len(s.memoRates) {
+		return false
+	}
+	for i := range rates {
+		if rates[i] != s.memoRates[i] || dem[i] != s.memoDem[i] || latMult[i] != s.memoLat[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoize records the call just solved, reusing the memo slices so the
+// steady state allocates nothing.
+func (s *contentionSolver) memoize(rates []float64, dem []Demand, latMult []float64, out []float64, offered float64) {
+	s.memoRates = append(s.memoRates[:0], rates...)
+	s.memoDem = append(s.memoDem[:0], dem...)
+	s.memoLat = append(s.memoLat[:0], latMult...)
+	s.memoOut = append(s.memoOut[:0], out...)
+	s.memoOffered = offered
+	s.memoOK = true
 }

@@ -1,0 +1,274 @@
+package replay
+
+import (
+	"fmt"
+
+	"dike/internal/counters"
+	"dike/internal/platform"
+	"dike/internal/sim"
+)
+
+// TapeQuantum is one quantum boundary captured on a Tape: the decision
+// time, the alive set, the counter sample the live policy saw, and the
+// placement as it stood when the quantum began (before the live policy
+// acted).
+type TapeQuantum struct {
+	Now       sim.Time
+	Alive     []platform.ThreadID
+	Sample    *platform.Sample
+	Placement map[platform.ThreadID]platform.CoreID
+}
+
+// Tape is a bounded trailing window of recorded quanta plus the
+// platform's static facts (topology, memory capacity, thread registry,
+// process membership). A meta scheduler appends one TapeQuantum per live
+// quantum and forks Shadows from the window to audition candidate
+// policies against the recent past. Everything recorded is deep-copied:
+// neither the tape nor any shadow forked from it can alias live
+// platform state, so shadow runs cannot perturb the live stream.
+type Tape struct {
+	topo   *platform.Topology
+	memcap float64
+	window sim.Time
+	quanta []TapeQuantum
+	// threads/procs snapshot the registry lazily: open-loop runs keep
+	// registering request threads, so Record refreshes from the platform.
+	threads []platform.ThreadID
+	procs   map[platform.ThreadID]int
+}
+
+// tapeMaxQuanta hard-caps the tape length whatever the time window, so
+// a fine-cadence live policy cannot grow it without bound.
+const tapeMaxQuanta = 256
+
+// NewTape captures the platform's static facts and returns an empty tape
+// holding the trailing window of simulated time. The window is
+// time-based, not count-based: a 100ms-quantum policy and a 1000ms-
+// quantum policy leave the same span of history on the tape, which is
+// what makes their auditions comparable.
+func NewTape(p platform.Platform, window sim.Time) (*Tape, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("replay: tape window %v must be positive", window)
+	}
+	return &Tape{
+		topo:   p.Topology(),
+		memcap: p.MemCapacity(),
+		window: window,
+		procs:  make(map[platform.ThreadID]int),
+	}, nil
+}
+
+// Record appends one quantum, deep-copying the sample and placement, and
+// refreshes the thread registry snapshot from p. Quanta older than the
+// time window (always keeping at least two) are evicted.
+func (t *Tape) Record(p platform.Platform, now sim.Time, alive []platform.ThreadID, s *platform.Sample, placement map[platform.ThreadID]platform.CoreID) {
+	ids := p.Threads()
+	if len(ids) != len(t.threads) {
+		t.threads = append(t.threads[:0], ids...)
+		for _, id := range ids {
+			if _, ok := t.procs[id]; !ok {
+				if proc, err := p.ProcessOf(id); err == nil {
+					t.procs[id] = proc
+				}
+			}
+		}
+	}
+	q := TapeQuantum{
+		Now:       now,
+		Alive:     append([]platform.ThreadID(nil), alive...),
+		Sample:    copySample(s),
+		Placement: make(map[platform.ThreadID]platform.CoreID, len(placement)),
+	}
+	for id, c := range placement {
+		q.Placement[id] = c
+	}
+	t.quanta = append(t.quanta, q)
+	drop := 0
+	for len(t.quanta)-drop > 2 &&
+		(now-t.quanta[drop].Now > t.window || len(t.quanta)-drop > tapeMaxQuanta) {
+		drop++
+	}
+	if drop > 0 {
+		// Shift rather than re-slice so the backing array stays bounded.
+		copy(t.quanta, t.quanta[drop:])
+		t.quanta = t.quanta[:len(t.quanta)-drop]
+	}
+}
+
+// Len returns the number of quanta currently on the tape.
+func (t *Tape) Len() int { return len(t.quanta) }
+
+// Window returns the trailing window. The slice and its contents are
+// owned by the tape; callers must not mutate them.
+func (t *Tape) Window() []TapeQuantum { return t.quanta }
+
+// ProcessTable returns the recorded thread→process map (shared; read only).
+func (t *Tape) ProcessTable() map[platform.ThreadID]int { return t.procs }
+
+// Fork returns a Shadow positioned before the first quantum of the
+// current window, with the placement the live run had at that point.
+func (t *Tape) Fork() *Shadow {
+	s := &Shadow{
+		tape:      t,
+		win:       append([]TapeQuantum(nil), t.quanta...),
+		cur:       -1,
+		placement: make(map[platform.ThreadID]platform.CoreID),
+	}
+	if len(s.win) > 0 {
+		for id, c := range s.win[0].Placement {
+			s.placement[id] = c
+		}
+	}
+	s.migs = make([]map[platform.ThreadID]int, len(s.win))
+	return s
+}
+
+// copySample deep-copies a counter sample so the tape owns its data.
+func copySample(s *platform.Sample) *platform.Sample {
+	c := &platform.Sample{Interval: s.Interval}
+	if s.Threads != nil {
+		c.Threads = make(map[platform.ThreadID]counters.ThreadDelta, len(s.Threads))
+		for id, d := range s.Threads {
+			c.Threads[id] = d
+		}
+	}
+	if s.Cores != nil {
+		c.Cores = append([]counters.CoreDelta(nil), s.Cores...)
+	}
+	if s.Instr != nil {
+		c.Instr = make(map[platform.ThreadID]float64, len(s.Instr))
+		for id, v := range s.Instr {
+			c.Instr[id] = v
+		}
+	}
+	return c
+}
+
+// Shadow is a platform.Platform that re-serves a tape window to a
+// candidate policy. Reads come from the recording; affinity calls
+// mutate only the shadow's private placement map (Place free, Migrate
+// and Swap counted per quantum for cost accounting). Unlike Player it
+// verifies nothing — candidates are free to decide differently than the
+// live policy did; that divergence is exactly what gets scored.
+type Shadow struct {
+	tape      *Tape
+	win       []TapeQuantum
+	cur       int
+	placement map[platform.ThreadID]platform.CoreID
+	migs      []map[platform.ThreadID]int
+}
+
+// Quanta returns the number of recorded quanta the shadow will serve.
+func (s *Shadow) Quanta() int { return len(s.win) }
+
+// Advance positions the shadow at window quantum i and returns it; the
+// caller then invokes the candidate's Quantum at the recorded time.
+func (s *Shadow) Advance(i int) TapeQuantum {
+	s.cur = i
+	return s.win[i]
+}
+
+// PlacementOf returns the shadow's current core for id (default 0, like
+// a machine before explicit placement).
+func (s *Shadow) PlacementOf(id platform.ThreadID) platform.CoreID { return s.placement[id] }
+
+// Migrations returns the per-window-quantum migration counts the
+// candidate incurred (nil entries mean none that quantum).
+func (s *Shadow) Migrations() []map[platform.ThreadID]int { return s.migs }
+
+func (s *Shadow) Topology() *platform.Topology { return s.tape.topo }
+func (s *Shadow) MemCapacity() float64         { return s.tape.memcap }
+
+func (s *Shadow) Threads() []platform.ThreadID {
+	return append([]platform.ThreadID(nil), s.tape.threads...)
+}
+
+func (s *Shadow) Alive() []platform.ThreadID {
+	if s.cur < 0 || s.cur >= len(s.win) {
+		return nil
+	}
+	return append([]platform.ThreadID(nil), s.win[s.cur].Alive...)
+}
+
+func (s *Shadow) CoreOf(id platform.ThreadID) (platform.CoreID, error) {
+	if _, ok := s.tape.procs[id]; !ok {
+		return 0, fmt.Errorf("replay: shadow: unknown thread %d", id)
+	}
+	return s.placement[id], nil
+}
+
+func (s *Shadow) ProcessOf(id platform.ThreadID) (int, error) {
+	proc, ok := s.tape.procs[id]
+	if !ok {
+		return 0, fmt.Errorf("replay: shadow: unknown thread %d", id)
+	}
+	return proc, nil
+}
+
+// Sample re-serves the current quantum's recorded counters. The copy is
+// fresh per call: policies (the Dike observer in particular) retain the
+// returned pointer, and two candidates must never share one.
+func (s *Shadow) Sample(now sim.Time) *platform.Sample {
+	if s.cur < 0 || s.cur >= len(s.win) {
+		return &platform.Sample{}
+	}
+	return copySample(s.win[s.cur].Sample)
+}
+
+func (s *Shadow) Place(id platform.ThreadID, core platform.CoreID) error {
+	if err := s.checkMove(id, core); err != nil {
+		return err
+	}
+	s.placement[id] = core
+	return nil
+}
+
+func (s *Shadow) Migrate(id platform.ThreadID, core platform.CoreID, now sim.Time) error {
+	if err := s.checkMove(id, core); err != nil {
+		return err
+	}
+	if s.placement[id] == core {
+		return nil
+	}
+	s.placement[id] = core
+	s.countMig(id)
+	return nil
+}
+
+func (s *Shadow) Swap(a, b platform.ThreadID, now sim.Time) error {
+	ca, err := s.CoreOf(a)
+	if err != nil {
+		return err
+	}
+	cb, err := s.CoreOf(b)
+	if err != nil {
+		return err
+	}
+	if ca == cb {
+		return nil
+	}
+	s.placement[a], s.placement[b] = cb, ca
+	s.countMig(a)
+	s.countMig(b)
+	return nil
+}
+
+func (s *Shadow) checkMove(id platform.ThreadID, core platform.CoreID) error {
+	if _, ok := s.tape.procs[id]; !ok {
+		return fmt.Errorf("replay: shadow: unknown thread %d", id)
+	}
+	if int(core) < 0 || int(core) >= s.tape.topo.NumCores() {
+		return fmt.Errorf("replay: shadow: core %d out of range", core)
+	}
+	return nil
+}
+
+func (s *Shadow) countMig(id platform.ThreadID) {
+	if s.cur < 0 || s.cur >= len(s.migs) {
+		return
+	}
+	if s.migs[s.cur] == nil {
+		s.migs[s.cur] = make(map[platform.ThreadID]int)
+	}
+	s.migs[s.cur][id]++
+}

@@ -41,6 +41,11 @@ type RunRequest struct {
 	// it takes precedence over Generator/Apps/Workload, and Scale is
 	// ignored. Raw JSON for the same reason as Machine.
 	Traffic json.RawMessage `json:"traffic,omitempty"`
+	// Meta, when set, is a tournament.Config JSON document overriding
+	// the meta policy's tournament parameters (epoch, window, objective,
+	// candidate set, hysteresis). Only valid with policy "meta"; raw
+	// JSON for the same reason as Machine.
+	Meta json.RawMessage `json:"meta,omitempty"`
 	// Faults attaches the deterministic fault injector.
 	Faults *FaultRequest `json:"faults,omitempty"`
 	// DeadlineMs bounds the job's wall-clock execution; 0 uses the
@@ -117,6 +122,11 @@ type RunResult struct {
 	// Traffic holds the open-loop scenario outcome when the run was
 	// traffic-driven (RunRequest.Traffic set); nil for closed-loop runs.
 	Traffic *TrafficResult `json:"traffic,omitempty"`
+	// MetaSwitches and MetaFinalPolicy summarise the meta policy's
+	// tournament record (policy "meta" only): how many times the live
+	// policy changed, and which candidate held the live seat at the end.
+	MetaSwitches    int    `json:"meta_switches,omitempty"`
+	MetaFinalPolicy string `json:"meta_final_policy,omitempty"`
 }
 
 // TrafficResult mirrors traffic.Result over the wire: scenario totals,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -16,6 +17,7 @@ import (
 	"dike/internal/platform"
 	"dike/internal/serve/api"
 	"dike/internal/sim"
+	"dike/internal/tournament"
 	"dike/internal/traffic"
 	"dike/internal/workload"
 )
@@ -119,6 +121,10 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	if len(req.Traffic) > 0 {
 		return buildTrafficRunSpec(req)
 	}
+	mc, merr := parseMetaConfig(req)
+	if merr != nil {
+		return harness.RunSpec{}, "", merr
+	}
 	var w *workload.Workload
 	var err error
 	switch {
@@ -178,6 +184,7 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		Seed:     seed,
 		Scale:    scale,
 		MaxTime:  sim.Time(req.MaxTimeMs),
+		Meta:     mc,
 	}
 	if len(req.Machine) > 0 {
 		ms, err := platform.ParseMachineSpec(req.Machine)
@@ -223,6 +230,10 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	if req.Scale != 0 {
 		return harness.RunSpec{}, "", fmt.Errorf("serve: scale does not apply to traffic runs")
 	}
+	mc, err := parseMetaConfig(req)
+	if err != nil {
+		return harness.RunSpec{}, "", err
+	}
 	seed := uint64(42)
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -232,6 +243,7 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		Policy:  req.Policy,
 		Seed:    seed,
 		MaxTime: sim.Time(req.MaxTimeMs),
+		Meta:    mc,
 	}
 	if len(req.Machine) > 0 {
 		ms, err := platform.ParseMachineSpec(req.Machine)
@@ -266,6 +278,26 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	return spec, digest, nil
 }
 
+// parseMetaConfig decodes a request's tournament configuration. Only
+// the meta policy consults it, and a config on any other policy would
+// silently not affect the run while the harness excludes it from the
+// content address — so it is rejected rather than ignored.
+func parseMetaConfig(req RunRequest) (*tournament.Config, error) {
+	if len(req.Meta) == 0 {
+		return nil, nil
+	}
+	if req.Policy != harness.PolicyMeta {
+		return nil, fmt.Errorf("serve: meta config requires policy %q (got %q)", harness.PolicyMeta, req.Policy)
+	}
+	dec := json.NewDecoder(bytes.NewReader(req.Meta))
+	dec.DisallowUnknownFields()
+	var cfg tournament.Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("serve: meta config: %w", err)
+	}
+	return &cfg, nil
+}
+
 // runResult converts a finished harness run into the API result.
 func runResult(out *harness.RunOutput) RunResult {
 	r := out.Result
@@ -297,6 +329,10 @@ func runResult(out *harness.RunOutput) RunResult {
 	}
 	if tr := out.Traffic; tr != nil {
 		res.Traffic = trafficResult(tr)
+	}
+	if ms := out.MetaStats; ms != nil {
+		res.MetaSwitches = ms.Switches
+		res.MetaFinalPolicy = ms.FinalPolicy
 	}
 	return res
 }

@@ -90,6 +90,75 @@ func TestEngineIdleSkipFinalJumpStopsAtWake(t *testing.T) {
 	}
 }
 
+func TestEngineIdleSkipWakeOnQuantumBoundary(t *testing.T) {
+	// Wake exactly on a quantum boundary: the final idle jump and the
+	// quantum boundary coincide at 400, which must produce one step
+	// landing exactly there — not a zero-length step, not a skipped
+	// decision — and the decision schedule must stay intact through it.
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 50}, wake: 400}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	done, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 450 {
+		t.Errorf("completion time = %v, want 450 (wake 400 + 50 work)", done)
+	}
+	for i, c := range p.calls {
+		if c != Time(i)*p.ql {
+			t.Fatalf("quantum calls = %v, want every multiple of %v", p.calls, p.ql)
+		}
+	}
+	hit := false
+	var at Time
+	for _, dt := range w.steps {
+		if dt <= 0 {
+			t.Fatalf("zero-length step in %v", w.steps)
+		}
+		at += dt
+		if at == 400 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no step boundary at wake time 400; steps %v", w.steps)
+	}
+}
+
+func TestEngineIdleSkipEmptyAtStart(t *testing.T) {
+	// A world that is empty at t=0 (every thread arrives later) must
+	// still take its t=0 scheduling decision before any jump: the first
+	// quantum call observes the empty machine, and the idle skip only
+	// shapes step sizes afterwards.
+	w := &fakeIdleWorld{fakeWorld: fakeWorld{runFor: 30}, wake: 250}
+	p := &fakePolicy{ql: 100}
+	e, _ := NewEngine(w, p, DefaultConfig())
+	done, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 280 {
+		t.Errorf("completion time = %v, want 280 (wake 250 + 30 work)", done)
+	}
+	if len(p.calls) == 0 || p.calls[0] != 0 {
+		t.Fatalf("first quantum call = %v, want a decision at t=0 on the empty world", p.calls)
+	}
+	// The idle crossing 0→200 must be two quantum jumps, then a 50 ms
+	// step to the mid-quantum wake at 250.
+	hit := false
+	var at Time
+	for _, dt := range w.steps {
+		at += dt
+		if at == 250 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no step boundary at wake time 250; steps %v", w.steps)
+	}
+}
+
 func TestEngineIdleSkipRespectsHorizon(t *testing.T) {
 	// A world whose first arrival is beyond MaxTime must still fail with
 	// HorizonError at MaxTime — and fast, in quantum jumps.

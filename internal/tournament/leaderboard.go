@@ -1,0 +1,74 @@
+package tournament
+
+import (
+	"errors"
+	"sort"
+)
+
+// CellEntry is one policy's measured outcome in one tournament grid
+// cell (a policy × load × scenario point). Objective is the cell's
+// ranking metric, lower is better — the harness uses the worst
+// latency-critical tenant's p99 sojourn. Oracle marks entries eligible
+// as the oracle-best reference: fixed policies a clairvoyant per-cell
+// picker could have chosen. Adaptive entrants (the meta policy) compete
+// but are excluded from the reference, so their regret measures how
+// close online switching gets to offline per-cell selection.
+type CellEntry struct {
+	Policy    string
+	Objective float64
+	Oracle    bool
+}
+
+// RankedEntry is a CellEntry with its leaderboard placement.
+type RankedEntry struct {
+	CellEntry
+	// Rank is 1-based, best first (ties broken by policy name).
+	Rank int
+	// Regret is Objective/oracle-best − 1: 0 means as good as the best
+	// fixed policy, 0.1 means 10% worse, negative means better.
+	Regret float64
+	// Winner marks rank 1.
+	Winner bool
+}
+
+// ErrNoOracle reports a cell with no oracle-eligible entry to rank
+// against.
+var ErrNoOracle = errors.New("tournament: cell has no oracle-eligible entry")
+
+// RankCell builds one cell's leaderboard: entries sorted best-first by
+// objective (name-tiebroken, so ranking is deterministic), with regret
+// computed against the best oracle-eligible objective.
+func RankCell(entries []CellEntry) ([]RankedEntry, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("tournament: empty cell")
+	}
+	oracleBest := 0.0
+	found := false
+	for _, e := range entries {
+		if e.Oracle && (!found || e.Objective < oracleBest) {
+			oracleBest = e.Objective
+			found = true
+		}
+	}
+	if !found {
+		return nil, ErrNoOracle
+	}
+	ranked := make([]RankedEntry, len(entries))
+	for i, e := range entries {
+		ranked[i] = RankedEntry{CellEntry: e}
+		if oracleBest > 0 {
+			ranked[i].Regret = e.Objective/oracleBest - 1
+		}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].Objective != ranked[b].Objective {
+			return ranked[a].Objective < ranked[b].Objective
+		}
+		return ranked[a].Policy < ranked[b].Policy
+	})
+	for i := range ranked {
+		ranked[i].Rank = i + 1
+	}
+	ranked[0].Winner = true
+	return ranked, nil
+}

@@ -1,0 +1,121 @@
+package tournament
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRankCellOrdersAndComputesRegret(t *testing.T) {
+	ranked, err := RankCell([]CellEntry{
+		{Policy: "cfs", Objective: 400, Oracle: true},
+		{Policy: "meta", Objective: 110},
+		{Policy: "dio", Objective: 100, Oracle: true},
+		{Policy: "dike", Objective: 200, Oracle: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"dio", "meta", "dike", "cfs"}
+	for i, want := range order {
+		e := ranked[i]
+		if e.Policy != want || e.Rank != i+1 {
+			t.Fatalf("rank %d = %s(#%d), want %s", i+1, e.Policy, e.Rank, want)
+		}
+	}
+	if !ranked[0].Winner || ranked[1].Winner {
+		t.Error("winner flag not exactly on rank 1")
+	}
+	// Regret is against the oracle-best (dio, 100) — the meta entry is
+	// excluded from the reference even when it places ahead of fixed
+	// policies.
+	if got := ranked[1].Regret; math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("meta regret = %v, want 0.10", got)
+	}
+	if got := ranked[0].Regret; got != 0 {
+		t.Errorf("oracle-best regret = %v, want 0", got)
+	}
+}
+
+func TestRankCellAdaptiveCanGoNegative(t *testing.T) {
+	ranked, err := RankCell([]CellEntry{
+		{Policy: "meta", Objective: 90},
+		{Policy: "dio", Objective: 100, Oracle: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Policy != "meta" || !ranked[0].Winner {
+		t.Fatalf("winner = %+v, want meta", ranked[0])
+	}
+	if got := ranked[0].Regret; math.Abs(got+0.10) > 1e-12 {
+		t.Errorf("meta regret = %v, want -0.10 (beats the oracle)", got)
+	}
+}
+
+func TestRankCellTiesBreakByName(t *testing.T) {
+	ranked, err := RankCell([]CellEntry{
+		{Policy: "zeta", Objective: 100, Oracle: true},
+		{Policy: "alpha", Objective: 100, Oracle: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Policy != "alpha" || ranked[1].Policy != "zeta" {
+		t.Errorf("tie order = %s, %s; want name order", ranked[0].Policy, ranked[1].Policy)
+	}
+}
+
+func TestRankCellNoOracle(t *testing.T) {
+	if _, err := RankCell([]CellEntry{{Policy: "meta", Objective: 1}}); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("err = %v, want ErrNoOracle", err)
+	}
+	if _, err := RankCell(nil); err == nil {
+		t.Error("empty cell accepted")
+	}
+}
+
+func TestConfigWithDefaultsAndValidate(t *testing.T) {
+	// The zero config resolves to the defaults and validates once it
+	// has candidates.
+	c := Config{}.WithDefaults()
+	d := DefaultConfig()
+	if c.EpochMs != d.EpochMs || c.Objective != d.Objective || c.SwitchMargin != d.SwitchMargin {
+		t.Errorf("WithDefaults = %+v, want defaults %+v", c, d)
+	}
+	c.Candidates = []string{"dio", "cfs"}
+	if err := c.Validate(); err != nil {
+		t.Errorf("resolved default config invalid: %v", err)
+	}
+	// Disabled tournaments (negative epoch) survive resolution.
+	if got := (Config{EpochMs: -1}).WithDefaults().EpochMs; got != -1 {
+		t.Errorf("negative EpochMs resolved to %d, want preserved", got)
+	}
+
+	// A resolved config still has no candidates — the harness owns the
+	// registry — so validation must demand them.
+	if err := (Config{}).WithDefaults().Validate(); err == nil {
+		t.Error("config without candidates validated")
+	}
+
+	bad := []Config{
+		{WindowMs: -5},
+		{Objective: "vibes"},
+		{Candidates: []string{"dio", "dio"}},
+		{Candidates: []string{""}},
+		{SwitchMargin: -0.1},
+		{MigCostMs: -1},
+		{WeightFairness: -1, WeightTail: 2},
+	}
+	for _, b := range bad {
+		// WithDefaults only fills zero fields, so the broken values
+		// survive resolution — exactly what a user's bad JSON would hit.
+		cfg := b.WithDefaults()
+		if len(cfg.Candidates) == 0 && b.Candidates == nil {
+			cfg.Candidates = []string{"dio"}
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", b)
+		}
+	}
+}

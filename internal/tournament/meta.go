@@ -1,0 +1,301 @@
+package tournament
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dike/internal/platform"
+	"dike/internal/replay"
+	"dike/internal/sim"
+)
+
+// satRho is the occupancy (alive threads per core) above which the
+// machine counts as saturated: beyond it a growing alive count means a
+// backlog is building, not that the system is still filling toward its
+// steady state. (Well below 1.0 because open-loop tenants never keep
+// every core busy simultaneously — sustained 0.8 alive per core with a
+// growing tail is already a queue that will not drain.)
+const satRho = 0.8
+
+// PolicyFactory constructs a candidate policy over a platform. The meta
+// policy uses one factory twice per candidate life-cycle: over a Shadow
+// for auditions, and over the live tap when the candidate wins.
+type PolicyFactory func(p platform.Platform, seed uint64) (sim.Policy, error)
+
+// Candidate pairs a policy name with its factory.
+type Candidate struct {
+	Name string
+	New  PolicyFactory
+}
+
+// Meta is the level-1 adaptive switcher: a sim.Policy that runs one
+// candidate live while recording the platform stream on a trailing
+// tape. Every epoch it forks a Shadow per candidate, replays the window
+// under each, scores them and — with hysteresis — hands the live run to
+// the winner. The handover constructs the winner over an adapter that
+// turns its initial Place calls into real Migrates, so switching pays
+// the platform's migration costs instead of teleporting threads.
+type Meta struct {
+	cfg   Config
+	seed  uint64
+	cands []Candidate
+	tap   *tap
+	tape  *replay.Tape
+
+	live      sim.Policy
+	liveIdx   int
+	nextEpoch sim.Time
+	dwell     int // epochs since the last switch (or since start)
+
+	stats Stats
+}
+
+// NewMeta builds the meta policy over plat. cfg is resolved with
+// WithDefaults; cands must align with cfg.Candidates (the harness
+// builds both from its policy registry). The first candidate runs until
+// the first tournament.
+func NewMeta(plat platform.Platform, cfg Config, seed uint64, cands []Candidate) (*Meta, error) {
+	cfg = cfg.WithDefaults()
+	if len(cfg.Candidates) == 0 {
+		names := make([]string, len(cands))
+		for i, c := range cands {
+			names[i] = c.Name
+		}
+		cfg.Candidates = names
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cands) != len(cfg.Candidates) {
+		return nil, errors.New("tournament: candidate factories do not match config")
+	}
+	for i, c := range cands {
+		if c.Name != cfg.Candidates[i] || c.New == nil {
+			return nil, fmt.Errorf("tournament: candidate %d mismatched or missing factory", i)
+		}
+	}
+	tape, err := replay.NewTape(plat, sim.Time(cfg.WindowMs))
+	if err != nil {
+		return nil, err
+	}
+	m := &Meta{
+		cfg:   cfg,
+		seed:  seed,
+		cands: cands,
+		tap:   &tap{plat: plat},
+		tape:  tape,
+		dwell: cfg.MinDwellEpochs, // the initial policy may be unseated at the first epoch
+	}
+	if cfg.EpochMs > 0 {
+		m.nextEpoch = sim.Time(cfg.EpochMs)
+	}
+	m.stats.Objective = cfg.Objective
+	m.stats.Candidates = append([]string(nil), cfg.Candidates...)
+	live, err := cands[0].New(m.tap, seed)
+	if err != nil {
+		return nil, err
+	}
+	m.live = live
+	return m, nil
+}
+
+// Name implements sim.Policy.
+func (m *Meta) Name() string { return "meta" }
+
+// QuantaLength delegates to the live policy, so the decision cadence is
+// always the incumbent's native one.
+func (m *Meta) QuantaLength() sim.Time { return m.live.QuantaLength() }
+
+// Quantum runs one live scheduling decision. Tournament first (on the
+// window as it stood before this boundary), then capture this quantum's
+// stream onto the tape, then let the live policy decide over the
+// captured sample.
+func (m *Meta) Quantum(now sim.Time) error {
+	if m.cfg.EpochMs > 0 && now >= m.nextEpoch {
+		if err := m.tournament(now); err != nil {
+			return err
+		}
+		for now >= m.nextEpoch {
+			m.nextEpoch += sim.Time(m.cfg.EpochMs)
+		}
+	}
+	m.tap.begin(now)
+	m.tape.Record(m.tap.plat, now, m.tap.alive, m.tap.sample, m.tap.placement)
+	return m.live.Quantum(now)
+}
+
+// Stats returns a snapshot of the tournament bookkeeping.
+func (m *Meta) Stats() *Stats {
+	s := m.stats
+	s.Epochs = append([]EpochRecord(nil), m.stats.Epochs...)
+	s.FinalPolicy = m.cands[m.liveIdx].Name
+	return &s
+}
+
+// tournament auditions every candidate on the trailing window and may
+// switch the live policy. It is a pure function of (tape, cfg, seed):
+// shadows never touch the platform, and all iteration is in fixed
+// candidate order, so two identical runs hold identical tournaments.
+func (m *Meta) tournament(now sim.Time) error {
+	// Audition on whatever trailing history exists (up to Window quanta);
+	// a single boundary carries no interval yet, so wait for two. Waiting
+	// for a full window instead would push the first tournament past most
+	// of a short run's arrival window.
+	if m.tape.Len() < 2 {
+		return nil
+	}
+	// A winning candidate's handover migrations happen at this boundary,
+	// even if its constructor places eagerly (before begin runs).
+	m.tap.now = now
+	procs := m.tape.ProcessTable()
+	scores := make([]float64, len(m.cands))
+	for i, cand := range m.cands {
+		sh := m.tape.Fork()
+		pol, err := cand.New(sh, m.seed)
+		if err != nil {
+			scores[i] = math.Inf(-1)
+			continue
+		}
+		run, err := runShadow(sh, pol)
+		if err != nil {
+			// A candidate that errors in its audition is disqualified,
+			// not fatal to the live run.
+			scores[i] = math.Inf(-1)
+			continue
+		}
+		scores[i] = score(m.cfg, sh.Topology(), procs, run)
+		m.stats.ShadowQuanta += sh.Quanta()
+	}
+
+	// Incumbent accountability: the shadows all audition on the same
+	// recorded window, but only the incumbent produced that window. If the
+	// live stream shows the backlog growing while the machine is already
+	// saturated, that outcome is evidence against whoever is live — a
+	// tail-chasing policy that starves its batch tenant looks fine in
+	// every instantaneous audition while the starved work piles up and
+	// clogs the machine a few epochs later. The demotion is gated on
+	// saturation (rho above satRho) so a legitimately filling system
+	// below capacity doesn't unseat a healthy policy.
+	win := m.tape.Window()
+	rho := 0.0
+	if n := m.tap.Topology().NumCores(); n > 0 && len(win) > 0 {
+		rho = float64(len(win[len(win)-1].Alive)) / float64(n)
+	}
+	growth := windowGrowth(m.tap.Topology(), win)
+	adj := scores[m.liveIdx]
+	if rho > satRho && growth > 0 && m.cfg.GrowthGain > 0 && !math.IsInf(adj, -1) {
+		if adj > 0 {
+			adj /= 1 + m.cfg.GrowthGain*growth
+		} else {
+			adj *= 1 + m.cfg.GrowthGain*growth
+		}
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i := range scores {
+		s := scores[i]
+		if i == m.liveIdx {
+			s = adj
+		}
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	rec := EpochRecord{
+		TimeMs:    int64(now),
+		Incumbent: m.cands[m.liveIdx].Name,
+		Winner:    m.cands[best].Name,
+		Growth:    growth,
+		Rho:       rho,
+	}
+	for i, c := range m.cands {
+		rec.Scores = append(rec.Scores, CandidateScore{Name: c.Name, Score: scores[i]})
+	}
+	m.dwell++
+	// The switch margin is relative to the incumbent's (possibly demoted)
+	// score, so the hysteresis it buys is the same whatever the
+	// objective's natural scale. A disqualified incumbent (-Inf) is
+	// unseated by any finite challenger.
+	thresh := adj + m.cfg.SwitchMargin*math.Abs(adj)
+	if math.IsInf(adj, -1) {
+		thresh = math.Inf(-1)
+	}
+	if best != m.liveIdx && m.dwell > m.cfg.MinDwellEpochs && scores[best] > thresh {
+		pol, err := m.cands[best].New(&handover{m.tap}, m.seed)
+		if err == nil {
+			m.live = pol
+			m.liveIdx = best
+			m.dwell = 0
+			m.stats.Switches++
+			rec.Switched = true
+		}
+	}
+	rec.Live = m.cands[m.liveIdx].Name
+	m.stats.Epochs = append(m.stats.Epochs, rec)
+	return nil
+}
+
+// tap sits between the meta policy's children and the real platform. It
+// captures each quantum's alive set, counter sample and placement once
+// (begin), then re-serves the captured sample to the live policy — the
+// platform's sampling stream advances exactly once per quantum no
+// matter how policies change, which is what keeps recorder logs of a
+// meta run identical to a single-policy cadence. Affinity calls pass
+// straight through.
+type tap struct {
+	plat      platform.Platform
+	now       sim.Time
+	alive     []platform.ThreadID
+	sample    *platform.Sample
+	placement map[platform.ThreadID]platform.CoreID
+}
+
+func (t *tap) begin(now sim.Time) {
+	t.now = now
+	t.alive = t.plat.Alive()
+	t.sample = t.plat.Sample(now)
+	t.placement = make(map[platform.ThreadID]platform.CoreID, len(t.alive))
+	for _, id := range t.alive {
+		if c, err := t.plat.CoreOf(id); err == nil {
+			t.placement[id] = c
+		}
+	}
+}
+
+func (t *tap) Topology() *platform.Topology                         { return t.plat.Topology() }
+func (t *tap) MemCapacity() float64                                 { return t.plat.MemCapacity() }
+func (t *tap) Threads() []platform.ThreadID                         { return t.plat.Threads() }
+func (t *tap) Alive() []platform.ThreadID                           { return t.plat.Alive() }
+func (t *tap) CoreOf(id platform.ThreadID) (platform.CoreID, error) { return t.plat.CoreOf(id) }
+func (t *tap) ProcessOf(id platform.ThreadID) (int, error)          { return t.plat.ProcessOf(id) }
+
+// Sample re-serves the quantum's captured sample instead of advancing
+// the platform stream a second time.
+func (t *tap) Sample(now sim.Time) *platform.Sample { return t.sample }
+
+func (t *tap) Place(id platform.ThreadID, core platform.CoreID) error {
+	return t.plat.Place(id, core)
+}
+
+func (t *tap) Migrate(id platform.ThreadID, core platform.CoreID, now sim.Time) error {
+	return t.plat.Migrate(id, core, now)
+}
+
+func (t *tap) Swap(a, b platform.ThreadID, now sim.Time) error {
+	return t.plat.Swap(a, b, now)
+}
+
+// handover wraps the tap for a newly-switched-in policy: its "initial"
+// Place calls become real Migrates (threads are mid-run; moving them
+// costs what moving threads costs). Placements that keep a thread where
+// it already is stay free and unlogged.
+type handover struct {
+	*tap
+}
+
+func (h *handover) Place(id platform.ThreadID, core platform.CoreID) error {
+	if cur, err := h.tap.plat.CoreOf(id); err == nil && cur == core {
+		return nil
+	}
+	return h.tap.plat.Migrate(id, core, h.tap.now)
+}

@@ -1,0 +1,67 @@
+package tournament
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CandidateScore is one candidate's score in one epoch's tournament.
+type CandidateScore struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// EpochRecord is the outcome of one tournament epoch.
+type EpochRecord struct {
+	// TimeMs is the simulated time of the tournament, ms.
+	TimeMs int64 `json:"t_ms"`
+	// Incumbent was the live policy going in; Winner scored highest;
+	// Live is the policy running after hysteresis was applied.
+	Incumbent string `json:"incumbent"`
+	Winner    string `json:"winner"`
+	Live      string `json:"live"`
+	// Switched reports whether the live policy actually changed.
+	Switched bool `json:"switched,omitempty"`
+	// Scores lists every candidate's score, in candidate order.
+	Scores []CandidateScore `json:"scores"`
+	// Growth and Rho snapshot the live-window signals the tournament
+	// judged the incumbent on: trailing backlog growth (fraction of the
+	// machine, zero unless saturated) and occupancy (alive threads per
+	// core) at the boundary.
+	Growth float64 `json:"growth,omitempty"`
+	Rho    float64 `json:"rho,omitempty"`
+}
+
+// Stats is the meta policy's tournament bookkeeping for a whole run.
+type Stats struct {
+	Objective  string   `json:"objective"`
+	Candidates []string `json:"candidates"`
+	// Epochs records every tournament held, in time order.
+	Epochs []EpochRecord `json:"epochs"`
+	// Switches counts live-policy changes; ShadowQuanta the total quanta
+	// simulated across all shadow auditions.
+	Switches     int `json:"switches"`
+	ShadowQuanta int `json:"shadow_quanta"`
+	// FinalPolicy is the candidate live when the run ended.
+	FinalPolicy string `json:"final_policy"`
+}
+
+// Digest renders the tournament stream as deterministic text, floats in
+// shortest round-trip form — the meta-run analogue of the harness
+// decision digest. A live run and its replay must match byte for byte.
+func (s *Stats) Digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "meta objective=%s candidates=%s switches=%d shadow_quanta=%d final=%s\n",
+		s.Objective, strings.Join(s.Candidates, ","), s.Switches, s.ShadowQuanta, s.FinalPolicy)
+	for _, e := range s.Epochs {
+		fmt.Fprintf(&b, "epoch t=%d incumbent=%s winner=%s switched=%t live=%s rho=%s growth=%s",
+			e.TimeMs, e.Incumbent, e.Winner, e.Switched, e.Live,
+			strconv.FormatFloat(e.Rho, 'g', -1, 64), strconv.FormatFloat(e.Growth, 'g', -1, 64))
+		for _, cs := range e.Scores {
+			fmt.Fprintf(&b, " %s=%s", cs.Name, strconv.FormatFloat(cs.Score, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
