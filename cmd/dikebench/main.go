@@ -42,6 +42,8 @@ func main() {
 		tourRegret = flag.Float64("tournament-regret", 0.10, "max meta-policy regret vs per-load oracle-best when gating against -tournament-baseline")
 		tourStore  = flag.String("tournament-store", "", "durable store directory caching tournament cells by run digest")
 		tourServer = flag.String("tournament-server", "", "dikeserved/dikecoord base URL to submit tournament cells to instead of simulating locally")
+		energyOut  = flag.String("energy-out", "BENCH_energy.json", "file the energy experiment writes raw measurements to")
+		energyBase = flag.String("energy-baseline", "", "baseline BENCH_energy.json; exit 1 if any cell's EDP regresses >10% or the fairness governor fails its gate")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		TournamentOut:    *tourOut,
 		TournamentStore:  *tourStore,
 		TournamentServer: *tourServer,
+		EnergyOut:        *energyOut,
 	}
 
 	var ids []string
@@ -109,7 +112,38 @@ func main() {
 				cli.Fatal(err)
 			}
 		}
+		if rep.ID == "energy" && *energyBase != "" {
+			if err := checkEnergyBaseline(*energyOut, *energyBase); err != nil {
+				cli.Fatal(err)
+			}
+		}
 	}
+}
+
+// checkEnergyBaseline gates the energy grid two ways: per-cell EDP
+// drift against a committed baseline (EDP is simulated, so any trip is
+// a real scheduling/governing change), and the absolute bar that the
+// fairness-coupled governor beats ondemand on fairness-per-J·s at the
+// tightest cap.
+func checkEnergyBaseline(current, baseline string) error {
+	cur, err := harness.LoadBenchEnergy(current)
+	if err != nil {
+		return err
+	}
+	base, err := harness.LoadBenchEnergy(baseline)
+	if err != nil {
+		return err
+	}
+	problems := harness.CompareBenchEnergy(cur, base, 0.10)
+	problems = append(problems, harness.GateBenchEnergy(cur)...)
+	if len(problems) == 0 {
+		fmt.Printf("EDP within 10%% of baseline %s; fairness governor beats ondemand at the tightest cap\n", baseline)
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "energy gate: "+p)
+	}
+	return fmt.Errorf("%d energy gate violation(s) vs %s", len(problems), baseline)
 }
 
 // checkTournamentBaseline gates the tournament leaderboard two ways:

@@ -46,6 +46,7 @@ import (
 	"dike/internal/harness"
 	"dike/internal/machine"
 	"dike/internal/platform"
+	"dike/internal/power"
 	"dike/internal/tournament"
 	"dike/internal/traffic"
 	"dike/internal/workload"
@@ -55,7 +56,7 @@ func main() {
 	var (
 		wlFlag     = flag.Int("wl", 1, "Table II workload number (1-16); ignored when -apps is set")
 		appsFlag   = flag.String("apps", "", "comma-separated application list for a custom workload")
-		policyFlag = flag.String("policy", "dike", "cfs | dio | dike | dike-af | dike-ap | rotate | oracle")
+		policyFlag = flag.String("policy", "dike", "cfs | dio | dike | dike-af | dike-ap | dike-ea | rotate | oracle")
 		seedFlag   = flag.Uint64("seed", 42, "simulation seed")
 		scaleFlag  = flag.Float64("scale", 0.5, "workload scale")
 		kmeansFlag = flag.Bool("kmeans", true, "include the kmeans contention app in custom workloads")
@@ -70,7 +71,9 @@ func main() {
 		replayFlag = flag.String("replay", "", "re-run a recorded log instead of simulating; other run flags are ignored")
 		digestFlag = flag.Bool("digest", false, "print only the deterministic decision digest")
 		metaFlag   = flag.String("meta", "", "JSON tournament config file overriding the meta policy's defaults (requires -policy meta)")
-		listFlag   = flag.Bool("list-policies", false, "list registered scheduling policies and exit")
+		govFlag    = flag.String("governor", "", "power governor to interpose: "+strings.Join(power.Names(), " | "))
+		capFlag    = flag.Float64("power-cap", 0, "per-socket watt budget for the ondemand/fairness governors")
+		listFlag   = flag.Bool("list-policies", false, "list registered scheduling policies and power governors, then exit")
 	)
 	flag.Parse()
 
@@ -81,6 +84,10 @@ func main() {
 				tag = " [meta-eligible]"
 			}
 			fmt.Printf("%-8s %s%s\n", p.Name, p.Description, tag)
+		}
+		fmt.Println("\npower governors (-governor):")
+		for _, g := range power.Governors() {
+			fmt.Printf("%-8s %s\n", g.Name, g.Description)
 		}
 		return
 	}
@@ -128,6 +135,11 @@ func main() {
 		}
 		spec.Meta = mc
 	}
+	if *govFlag != "" {
+		spec.Power = &power.Config{Governor: *govFlag, CapWatts: *capFlag}
+	} else if *capFlag != 0 {
+		cli.Fatal(fmt.Errorf("-power-cap requires -governor"))
+	}
 	if *machFlag != "" {
 		ms, err := platform.LoadMachineSpec(*machFlag)
 		if err != nil {
@@ -172,7 +184,7 @@ func main() {
 		}
 	}
 	if *digestFlag {
-		fmt.Print(harness.RunDigest(spec.Policy, out.History, out.MetaStats))
+		fmt.Print(harness.RunDigest(spec.Policy, out.History, out.MetaStats, out.Power))
 		return
 	}
 
@@ -204,6 +216,7 @@ func main() {
 	fmt.Printf("fairness   %.4f (Eqn 4)\n", r.Fairness)
 	fmt.Printf("makespan   %.1fs   mean main-bench time %.1fs\n", r.Makespan/1000, r.AvgTime/1000)
 	fmt.Printf("swaps      %d (%d migrations)\n", r.Swaps, r.Migrations)
+	printEnergy(out)
 	if out.History != nil {
 		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
 			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
@@ -240,6 +253,7 @@ func printTraffic(policy string, out *harness.RunOutput) {
 	fmt.Printf("fairness   jain %.4f  min/max %.4f (weight-normalized inverse slowdown)\n",
 		tr.FairnessJain, tr.FairnessMinMax)
 	fmt.Printf("drained    %.1fs\n", float64(tr.DrainedAtMs)/1000)
+	printEnergy(out)
 	if out.History != nil {
 		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
 			out.PredMin*100, out.PredAvg*100, out.PredMax*100)
@@ -256,6 +270,16 @@ func printTraffic(policy string, out *harness.RunOutput) {
 		}
 		fmt.Printf("%-12s %8d %7.0fms %7.0fms %7.0fms %7.0fms %8.2f %9s %9s\n",
 			c.Name, c.Completed, c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs, c.Slowdown, slo, viol)
+	}
+}
+
+// printEnergy reports the run's power-model outcome and, for governed
+// runs, the governor's decision totals.
+func printEnergy(out *harness.RunOutput) {
+	fmt.Printf("energy     %.0f J (EDP %.1f J·s)\n", out.EnergyJ, out.EDP)
+	if out.Power != nil {
+		fmt.Printf("governor   %s: %d invocation(s), %d DVFS actuation(s)\n",
+			out.Power.Governor, len(out.Power.Invocations), out.Power.Actions())
 	}
 }
 
@@ -307,12 +331,16 @@ func replayRun(path string, digest bool) {
 		cli.Fatal(err)
 	}
 	if digest {
-		fmt.Print(harness.RunDigest(out.Policy, out.History, out.MetaStats))
+		fmt.Print(harness.RunDigest(out.Policy, out.History, out.MetaStats, out.Power))
 		return
 	}
 	fmt.Printf("replayed   %s (seed %d)\n", out.Policy, out.Seed)
 	fmt.Printf("quanta     %d, last event at %.1fs\n", out.Quanta, float64(out.CompletedAt)/1000)
 	fmt.Println("verified   every decision matched the recording")
+	if out.Power != nil {
+		fmt.Printf("governor   %s: %d invocation(s), %d DVFS actuation(s) replayed\n",
+			out.Power.Governor, len(out.Power.Invocations), out.Power.Actions())
+	}
 	if out.History != nil {
 		fmt.Printf("prediction error: min %+.1f%% avg %+.1f%% max %+.1f%%\n",
 			out.PredMin*100, out.PredAvg*100, out.PredMax*100)

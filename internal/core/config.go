@@ -35,6 +35,13 @@ const (
 	AdaptFairness
 	// AdaptPerformance is the paper's Dike-AP.
 	AdaptPerformance
+	// AdaptEnergy is the energy-aware variant (Dike-EA, beyond the
+	// paper): while the system is unfair it adapts like Dike-AF, but its
+	// guard metric is fairness weighted by the platform's power draw —
+	// and while the system is fair it lengthens the quantum to spend
+	// fewer decisions (and with a capping governor attached, fewer
+	// watts) on an already-fair schedule.
+	AdaptEnergy
 )
 
 // String names the goal as the paper does.
@@ -44,6 +51,8 @@ func (g AdaptationGoal) String() string {
 		return "fairness"
 	case AdaptPerformance:
 		return "performance"
+	case AdaptEnergy:
+		return "energy"
 	default:
 		return "none"
 	}
@@ -154,7 +163,7 @@ func (c Config) Validate() error {
 		return errors.New("core: AdaptEvery must be >= 1")
 	}
 	switch c.Goal {
-	case AdaptNone, AdaptFairness, AdaptPerformance:
+	case AdaptNone, AdaptFairness, AdaptPerformance, AdaptEnergy:
 	default:
 		return fmt.Errorf("core: unknown adaptation goal %d", c.Goal)
 	}

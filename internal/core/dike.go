@@ -48,6 +48,11 @@ type Dike struct {
 	lkgSwap   int
 	lkgQuanta sim.Time
 	wdTrips   int
+
+	// Fairness-gate feed for the power subsystem: the core kind hosting
+	// the slowest thread while the gate is open (see LimitingKind).
+	limKind platform.CoreKind
+	limOK   bool
 }
 
 // Watchdog tuning: the gate value must grow by more than watchdogEps
@@ -151,13 +156,16 @@ func MustNew(p platform.Platform, cfg Config) *Dike {
 	return d
 }
 
-// Name implements sched.Policy: "dike", "dike-af" or "dike-ap".
+// Name implements sched.Policy: "dike", "dike-af", "dike-ap" or
+// "dike-ea".
 func (d *Dike) Name() string {
 	switch d.cfg.Goal {
 	case AdaptFairness:
 		return "dike-af"
 	case AdaptPerformance:
 		return "dike-ap"
+	case AdaptEnergy:
+		return "dike-ea"
 	default:
 		return "dike"
 	}
@@ -212,11 +220,16 @@ func (d *Dike) Quantum(now sim.Time) error {
 	d.recordErrors(obs)
 	d.watchdog(obs)
 
+	d.updateLimiting(obs)
+
 	// Adaptation (Optimizer), every AdaptEvery quanta.
 	if d.opt != nil && d.quantumIdx%d.cfg.AdaptEvery == 0 {
 		goal := obs.Fairness
-		if d.cfg.Goal == AdaptPerformance {
+		switch d.cfg.Goal {
+		case AdaptPerformance:
 			goal = d.instructionRate(obs)
+		case AdaptEnergy:
+			goal = d.energyMetric(obs)
 		}
 		d.opt.Step(obs, obs.Fairness, d.cfg.FairnessThreshold, goal)
 		d.swapSize, d.quanta = d.opt.Params()
@@ -336,6 +349,59 @@ func (d *Dike) recordErrors(obs *Observation) {
 	if n > 0 {
 		d.series = append(d.series, ErrPoint{Time: obs.Now, Mean: sum / float64(n)})
 	}
+}
+
+// updateLimiting refreshes the fairness-gate feed: while the gate is
+// open (system unfair), the limiting kind is the type of the core
+// hosting the slowest thread — the thread whose measured access rate is
+// the smallest fraction of its process's intrinsic demand. Boosting
+// that kind's frequency is the power budget's highest-leverage spend.
+// Ties break to the lowest thread id (obs.Alive is ascending).
+func (d *Dike) updateLimiting(obs *Observation) {
+	d.limOK = false
+	if obs.Fairness < d.cfg.FairnessThreshold {
+		return
+	}
+	best := platform.ThreadID(0)
+	bestSlow := 0.0
+	found := false
+	for _, id := range obs.Alive {
+		base := obs.Baseline[id]
+		if base <= 0 || obs.Held[id] {
+			continue
+		}
+		slow := obs.Rate[id] / base
+		if !found || slow < bestSlow {
+			best, bestSlow, found = id, slow, true
+		}
+	}
+	if !found {
+		return
+	}
+	core, ok := obs.CoreOf[best]
+	if !ok {
+		return
+	}
+	d.limKind = d.p.Topology().Core(core).Kind
+	d.limOK = true
+}
+
+// LimitingKind implements the power subsystem's fairness feed: the core
+// kind currently limiting the slowest thread, valid only while the
+// fairness gate is open. The feed is recomputed from observations, not
+// recorded — a replayed Dike derives the identical sequence.
+func (d *Dike) LimitingKind() (platform.CoreKind, bool) { return d.limKind, d.limOK }
+
+// energyMetric is the Optimizer's energy goal metric: the fairness gate
+// value weighted by the platform's power draw (both lower-better).
+// Platforms without an energy meter degrade to plain fairness.
+func (d *Dike) energyMetric(obs *Observation) float64 {
+	if pc, ok := d.p.(platform.PowerControl); ok {
+		if w := pc.PowerSample().Total(); w > 0 {
+			return obs.Fairness * w
+		}
+	}
+	return obs.Fairness
 }
 
 // instructionRate is the Optimizer's performance goal metric: aggregate

@@ -108,7 +108,9 @@ func (o *Optimizer) Step(obs *Observation, fairness, theta, goalMetric float64) 
 	if o.guardOn && o.stepped && o.havePrev {
 		worse := false
 		const margin = 0.05
-		if o.goal == AdaptFairness {
+		if o.goal == AdaptFairness || o.goal == AdaptEnergy {
+			// Lower is better: the gate value itself, or (energy mode)
+			// the gate value weighted by the platform's power draw.
 			worse = goalMetric > o.prevMetric*(1+margin)
 		} else {
 			worse = goalMetric < o.prevMetric*(1-margin)
@@ -125,8 +127,15 @@ func (o *Optimizer) Step(obs *Observation, fairness, theta, goalMetric float64) 
 	o.havePrev = true
 	o.stepped = false
 
-	// Algorithm 2 line 2: nothing to do while the system is fair.
+	// Algorithm 2 line 2: nothing to do while the system is fair —
+	// except in energy mode, where a fair system is an opportunity to
+	// lengthen the quantum and spend fewer scheduling decisions on it.
 	if fairness < theta {
+		if o.goal == AdaptEnergy && o.calls >= o.holdUntil {
+			o.lastSwap, o.lastQuanta = o.swapSize, o.quanta
+			o.incQuanta(1000)
+			o.stepped = o.swapSize != o.lastSwap || o.quanta != o.lastQuanta
+		}
 		return
 	}
 	if o.calls < o.holdUntil {
@@ -137,7 +146,7 @@ func (o *Optimizer) Step(obs *Observation, fairness, theta, goalMetric float64) 
 	o.lastSwap, o.lastQuanta = o.swapSize, o.quanta
 
 	switch o.goal {
-	case AdaptFairness:
+	case AdaptFairness, AdaptEnergy:
 		switch wt {
 		case TypeB:
 			o.decQuanta(100)

@@ -9,6 +9,7 @@ import (
 	"dike/internal/core"
 	"dike/internal/fault"
 	"dike/internal/machine"
+	"dike/internal/power"
 	"dike/internal/sim"
 	"dike/internal/tournament"
 	"dike/internal/traffic"
@@ -42,6 +43,10 @@ type specKey struct {
 	// meta policy (in fully resolved form), so every fixed-policy spec
 	// keeps its digest.
 	Meta *tournament.Config `json:",omitempty"`
+	// Power follows the same trailing-omitempty rule: set only for
+	// governed runs (in resolved form), so every ungoverned spec keeps
+	// its digest.
+	Power *power.Config `json:",omitempty"`
 }
 
 // Digest returns a content address for the run the spec describes: a
@@ -77,7 +82,7 @@ func (s RunSpec) Digest() (string, error) {
 	// the dike policies consult it, the goal is forced to match the
 	// policy name, and the placement seed comes from Seed.
 	switch s.Policy {
-	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP, PolicyDikeEA:
 		cfg := core.DefaultConfig()
 		if s.DikeConfig != nil {
 			cfg = *s.DikeConfig
@@ -89,6 +94,8 @@ func (s RunSpec) Digest() (string, error) {
 			cfg.Goal = core.AdaptFairness
 		case PolicyDikeAP:
 			cfg.Goal = core.AdaptPerformance
+		case PolicyDikeEA:
+			cfg.Goal = core.AdaptEnergy
 		}
 		cfg.PlacementSeed = s.Seed
 		key.Dike = &cfg
@@ -99,6 +106,12 @@ func (s RunSpec) Digest() (string, error) {
 			return "", err
 		}
 		key.Meta = &mcfg
+	}
+	// Resolve the governor configuration exactly as Run does: a nil
+	// config and an empty governor name both mean ungoverned.
+	if s.Power != nil && s.Power.Governor != "" {
+		pcfg := s.Power.WithDefaults()
+		key.Power = &pcfg
 	}
 	blob, err := json.Marshal(key)
 	if err != nil {

@@ -1,0 +1,320 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dike/internal/machine"
+	"dike/internal/platform"
+	"dike/internal/power"
+	"dike/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "energy",
+		Title: "Energy: power caps × governor × policy, energy-delay product and fairness under throttling",
+		Run:   runEnergy,
+	})
+}
+
+// BenchEnergySchema tags BENCH_energy.json documents.
+const BenchEnergySchema = "dike/bench-energy/v1"
+
+// BenchEnergyEntry is one (cap, policy, governor) cell of the energy
+// grid. Every field is simulated — joules integrate the deterministic
+// power model, the makespan is simulated time, and the actuation count
+// comes from the governor's replayable decision stream — so the
+// document is byte-stable across hosts and runs.
+type BenchEnergyEntry struct {
+	// CapWatts is the per-socket power budget handed to the governor;
+	// zero for the ungoverned reference row.
+	CapWatts float64 `json:"cap_watts,omitempty"`
+	Policy   string  `json:"policy"`
+	Governor string  `json:"governor,omitempty"`
+	// EnergyJ is total joules over the run; EDP the energy-delay
+	// product EnergyJ × makespan-seconds (J·s, lower is better).
+	EnergyJ    float64 `json:"energy_j"`
+	EDP        float64 `json:"edp"`
+	MakespanMs float64 `json:"makespan_ms"`
+	// Fairness is Eqn 4 (higher is better); FPE is fairness per J·s,
+	// the gate's combined figure of merit.
+	Fairness float64 `json:"fairness"`
+	FPE      float64 `json:"fpe"`
+	// Invocations and Actuations count governor adaptations and the
+	// DVFS level changes they issued; zero for the ungoverned row.
+	Invocations int `json:"invocations,omitempty"`
+	Actuations  int `json:"actuations,omitempty"`
+	// Digest is the run's RunSpec content address.
+	Digest string `json:"digest"`
+}
+
+// BenchEnergy is the BENCH_energy.json document.
+type BenchEnergy struct {
+	Schema  string             `json:"schema"`
+	Seed    uint64             `json:"seed"`
+	Scale   float64            `json:"scale"`
+	Quick   bool               `json:"quick"`
+	Caps    []float64          `json:"caps"`
+	Machine string             `json:"machine"`
+	Entries []BenchEnergyEntry `json:"entries"`
+}
+
+// LoadBenchEnergy reads a BENCH_energy.json document.
+func LoadBenchEnergy(path string) (*BenchEnergy, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchEnergy
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	if b.Schema != BenchEnergySchema {
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, b.Schema, BenchEnergySchema)
+	}
+	return &b, nil
+}
+
+// CompareBenchEnergy reports every cell present in both documents whose
+// energy-delay product regressed by more than tolerance (0.10 = 10%).
+// EDP is simulated, so a trip means the scheduler/governor pair really
+// spends more joule-seconds, not that CI was noisy.
+func CompareBenchEnergy(cur, base *BenchEnergy, tolerance float64) []string {
+	key := func(e BenchEnergyEntry) string {
+		return fmt.Sprintf("%.0fW/%s/%s", e.CapWatts, e.Policy, e.Governor)
+	}
+	baseline := make(map[string]BenchEnergyEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[key(e)] = e
+	}
+	var regressions []string
+	for _, e := range cur.Entries {
+		b, ok := baseline[key(e)]
+		if !ok || b.EDP <= 0 {
+			continue
+		}
+		if e.EDP > b.EDP*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: EDP %.1f J·s vs baseline %.1f (+%.1f%%)",
+				key(e), e.EDP, b.EDP, 100*(e.EDP/b.EDP-1)))
+		}
+	}
+	return regressions
+}
+
+// GateBenchEnergy checks the document's absolute acceptance property:
+// at the tightest cap, the fairness-coupled governor must deliver
+// strictly more fairness per joule-second (FPE) on dike-af than the
+// fixed-cap ondemand governor — spending the budget on the core type
+// that limits the slowest thread has to beat blind throttling.
+func GateBenchEnergy(b *BenchEnergy) []string {
+	if len(b.Caps) == 0 {
+		return []string{"no caps in document"}
+	}
+	tightest := b.Caps[0]
+	for _, c := range b.Caps {
+		if c < tightest {
+			tightest = c
+		}
+	}
+	find := func(gov string) *BenchEnergyEntry {
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if e.CapWatts == tightest && e.Policy == PolicyDikeAF && e.Governor == gov {
+				return e
+			}
+		}
+		return nil
+	}
+	od, fg := find(power.GovernorOndemand), find(power.GovernorFairness)
+	var violations []string
+	switch {
+	case od == nil || fg == nil:
+		violations = append(violations, fmt.Sprintf("tightest cap %.0fW: missing ondemand/fairness dike-af cells", tightest))
+	case !(fg.FPE > od.FPE):
+		violations = append(violations, fmt.Sprintf(
+			"tightest cap %.0fW: fairness governor FPE %.6g does not strictly beat ondemand %.6g",
+			tightest, fg.FPE, od.FPE))
+	}
+	return violations
+}
+
+// dvfs8Spec is the energy grid's machine, mirrored byte-for-byte by
+// examples/machines/dvfs8.json (a test asserts the two parse equal): 2
+// sockets × (2 perf + 2 eff) physical cores, per-type DVFS ladders of 4
+// and 3 levels, explicit power coefficients. At full load a socket
+// draws ≈40 W, which the cap grid squeezes.
+func dvfs8Spec() *platform.MachineSpec {
+	return &platform.MachineSpec{
+		CoreTypes: []platform.CoreTypeSpec{
+			{Name: "perf", Speed: 2.4, SMTWays: 2, SMTPenalty: 0.75,
+				DVFS: []float64{1, 0.85, 0.7, 0.55}, PowerStatic: 1.2, PowerPeak: 11.5},
+			{Name: "eff", Speed: 1.2, SMTWays: 1,
+				DVFS: []float64{1, 0.8, 0.6}, PowerStatic: 0.5, PowerPeak: 2.9},
+		},
+		Sockets: []platform.SocketSpec{
+			{Cores: []platform.CoreGroup{{Type: "perf", Physical: 2}, {Type: "eff", Physical: 2}},
+				Mem: platform.MemSpec{Capacity: 12, BaseLatency: 0.008, MaxUtil: 0.96}},
+			{Cores: []platform.CoreGroup{{Type: "perf", Physical: 2}, {Type: "eff", Physical: 2}},
+				Mem: platform.MemSpec{Capacity: 12, BaseLatency: 0.008, MaxUtil: 0.96}},
+		},
+		Distance: [][]float64{{0, 1}, {1, 0}},
+	}
+}
+
+// dvfs8Machine wraps dvfs8Spec in a machine config with the default
+// solver parameters.
+func dvfs8Machine() *machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Spec = dvfs8Spec()
+	return &cfg
+}
+
+// energyCaps returns the per-socket watt budgets, loosest first.
+func energyCaps(quick bool) []float64 {
+	if quick {
+		return []float64{30, 18}
+	}
+	return []float64{30, 24, 18}
+}
+
+// energyCombos returns the (policy, governor) pairs swept at every cap.
+// dike-ea pairs with ondemand: its energy-mode adaptation (longer
+// quanta once the CV gate is satisfied) is visible under blind
+// throttling, while under the fairness governor the gate rarely opens
+// at these caps and the two Dike variants would coincide.
+func energyCombos(quick bool) [][2]string {
+	combos := [][2]string{
+		{PolicyDikeAF, power.GovernorOndemand},
+		{PolicyDikeAF, power.GovernorFairness},
+		{PolicyDikeEA, power.GovernorOndemand},
+	}
+	if !quick {
+		combos = append(combos,
+			[2]string{PolicyDikeAF, power.GovernorThermal},
+			[2]string{PolicyDikeEA, power.GovernorFairness})
+	}
+	return combos
+}
+
+// runEnergy sweeps power caps × (policy, governor) over the dvfs8
+// machine and reports joules, energy-delay product and fairness under
+// throttling, against an ungoverned dike-af reference. When
+// Options.EnergyOut is set the raw measurements are written there as a
+// BENCH_energy.json document.
+func runEnergy(optsIn Options) (*Report, error) {
+	opts := optsIn.withDefaults()
+	scale := 0.25
+	if opts.Quick {
+		scale = 0.1
+	}
+	caps := energyCaps(opts.Quick)
+	bench := &BenchEnergy{
+		Schema: BenchEnergySchema, Seed: opts.Seed, Scale: scale, Quick: opts.Quick,
+		Caps: caps, Machine: "dvfs8",
+	}
+	t := &Table{
+		Title:  "Energy grid: per-socket cap × governor × policy on the dvfs8 machine",
+		Header: []string{"cap", "policy", "governor", "joules", "makespan", "EDP", "fairness", "FPE", "acts"},
+	}
+	ctx := context.Background()
+	cell := func(capW float64, pol, gov string) (BenchEnergyEntry, error) {
+		spec := RunSpec{
+			// Workload 3 (memory-heavy mix): its CV trajectory crosses
+			// Dike's fairness gate both ways at these caps, so dike-ea's
+			// energy-mode adaptation actually shows up in the grid.
+			Workload:      workload.MustTable2(3),
+			Policy:        pol,
+			MachineConfig: dvfs8Machine(),
+			Seed:          opts.Seed,
+			Scale:         scale,
+		}
+		if gov != "" {
+			spec.Power = &power.Config{Governor: gov, CapWatts: capW}
+			if gov == power.GovernorThermal {
+				// The dvfs8 sockets steady-state near 60 °C under the
+				// default RC model; trip points below that actually
+				// exercise the throttle/hysteresis cycle in the grid.
+				spec.Power.ThermalHot = 50
+				spec.Power.ThermalCool = 40
+			}
+		}
+		digest, err := spec.Digest()
+		if err != nil {
+			return BenchEnergyEntry{}, err
+		}
+		out, err := Run(ctx, spec)
+		if err != nil {
+			return BenchEnergyEntry{}, err
+		}
+		e := BenchEnergyEntry{
+			CapWatts: capW, Policy: pol, Governor: gov,
+			EnergyJ:    out.EnergyJ,
+			EDP:        out.EDP,
+			MakespanMs: out.Result.Makespan,
+			Fairness:   out.Result.Fairness,
+			Digest:     digest,
+		}
+		if e.EDP > 0 {
+			e.FPE = e.Fairness / e.EDP
+		}
+		if out.Power != nil {
+			e.Invocations = len(out.Power.Invocations)
+			e.Actuations = out.Power.Actions()
+		}
+		return e, nil
+	}
+	add := func(e BenchEnergyEntry) {
+		bench.Entries = append(bench.Entries, e)
+		capLabel := "-"
+		if e.CapWatts > 0 {
+			capLabel = fmt.Sprintf("%.0fW", e.CapWatts)
+		}
+		gov := e.Governor
+		if gov == "" {
+			gov = "(none)"
+		}
+		t.AddRow(capLabel, e.Policy, gov,
+			fmt.Sprintf("%.0f", e.EnergyJ), fmt.Sprintf("%.0f", e.MakespanMs),
+			fmt.Sprintf("%.1f", e.EDP), fmt.Sprintf("%.4f", e.Fairness),
+			fmt.Sprintf("%.3g", e.FPE), e.Actuations)
+	}
+	ref, err := cell(0, PolicyDikeAF, "")
+	if err != nil {
+		return nil, fmt.Errorf("energy reference: %w", err)
+	}
+	add(ref)
+	for _, capW := range caps {
+		for _, combo := range energyCombos(opts.Quick) {
+			e, err := cell(capW, combo[0], combo[1])
+			if err != nil {
+				return nil, fmt.Errorf("energy %.0fW/%s/%s: %w", capW, combo[0], combo[1], err)
+			}
+			add(e)
+		}
+	}
+	if opts.EnergyOut != "" {
+		blob, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.EnergyOut, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("seed %d, scale %.2f, dvfs8 machine (2 sockets × 2 perf + 2 eff, ≈40 W/socket unthrottled)", opts.Seed, scale),
+		"EDP is joules × makespan-seconds (lower is better); FPE is fairness per J·s (higher is better)",
+		"caps are per-socket watt budgets; the first row is the ungoverned dike-af reference",
+	}
+	if opts.EnergyOut != "" {
+		notes = append(notes, "measurements written to "+opts.EnergyOut)
+	}
+	if opts.Quick {
+		notes = append(notes, "quick mode: caps {30, 18}, no thermal governor, scale 0.1")
+	}
+	return &Report{ID: "energy", Title: "Energy and power capping", Tables: []*Table{t}, Notes: notes}, nil
+}

@@ -41,6 +41,11 @@ type Options struct {
 	// (same store engine as dikeserved, separate payload format — do not
 	// point it at a server's store directory).
 	TournamentStore string
+	// EnergyOut, when set, is where the `energy` experiment writes its
+	// raw measurements (BENCH_energy.json). Every field in the document
+	// is simulated — energy and EDP integrate the deterministic power
+	// model — so two runs of the same grid produce byte-identical files.
+	EnergyOut string
 	// TournamentServer, when set, is the base URL of a dikeserved or
 	// dikecoord instance the `tournament` experiment submits its grid
 	// cells to instead of simulating locally; the server's digest cache

@@ -166,7 +166,7 @@ func TestTableRendering(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
-		"extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds", "faults",
+		"energy", "extra-baselines", "extra-dynamic", "extra-scale", "extra-seeds", "faults",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "scale", "slo", "tab1", "tab2",
 		"tournament",
 	}

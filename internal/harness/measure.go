@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// measuredRun executes one spec with heap and wall-clock instrumentation
+// around it: allocations per scheduling quantum and whole runs per
+// second. Callers must run specs serially — concurrent simulations would
+// attribute each other's allocations. The scale, SLO and tournament
+// emitters all share this one definition of how a run is measured.
+func measuredRun(ctx context.Context, spec RunSpec) (out *RunOutput, allocsPerQuantum, runsPerSec float64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out, err = Run(ctx, spec)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if out.Decisions > 0 {
+		allocsPerQuantum = float64(after.Mallocs-before.Mallocs) / float64(out.Decisions)
+	}
+	if s := wall.Seconds(); s > 0 {
+		runsPerSec = 1 / s
+	}
+	return out, allocsPerQuantum, runsPerSec, nil
+}

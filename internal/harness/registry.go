@@ -32,6 +32,7 @@ var policyRegistry = []PolicyInfo{
 	{PolicyDike, "the paper's predictive scheduler, fixed <8,500>", true},
 	{PolicyDikeAF, "Dike with fairness-adaptive parameter tuning", true},
 	{PolicyDikeAP, "Dike with performance-adaptive parameter tuning", true},
+	{PolicyDikeEA, "Dike with energy-aware tuning: fairness × watts guard, longer quanta when fair", true},
 	{PolicyNull, "place once on core 0 order, never act (worst case)", true},
 	{PolicyRotate, "rotate every thread one core per quantum", true},
 	{PolicyOracle, "static placement from offline ground truth", false},
@@ -103,7 +104,7 @@ func candidateFactory(name string) tournament.PolicyFactory {
 			return sched.NewDIO(p, seed), nil
 		case PolicyRotate:
 			return sched.NewRotate(p, seed), nil
-		case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+		case PolicyDike, PolicyDikeAF, PolicyDikeAP, PolicyDikeEA:
 			cfg := core.DefaultConfig()
 			switch name {
 			case PolicyDike:
@@ -112,6 +113,8 @@ func candidateFactory(name string) tournament.PolicyFactory {
 				cfg.Goal = core.AdaptFairness
 			case PolicyDikeAP:
 				cfg.Goal = core.AdaptPerformance
+			case PolicyDikeEA:
+				cfg.Goal = core.AdaptEnergy
 			}
 			cfg.PlacementSeed = seed
 			return core.New(p, cfg)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dike/internal/core"
+	"dike/internal/power"
 	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
@@ -38,6 +39,10 @@ type ReplayOutput struct {
 	// reconstructed tournament record, which must digest identically to
 	// the live run's.
 	MetaStats *tournament.Stats
+	// Power mirrors RunOutput.Power for replayed governed runs: the
+	// governor's reconstructed invocation log, which must digest
+	// identically to the live run's.
+	Power *power.Stats
 }
 
 // Replay re-runs a recorded log: it rebuilds the policy named in the
@@ -71,7 +76,7 @@ func Replay(r io.Reader) (*ReplayOutput, error) {
 		if err != nil {
 			return nil, err
 		}
-	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP, PolicyDikeEA:
 		cfg := core.DefaultConfig()
 		if len(meta.PolicyConfig) > 0 {
 			cfg = core.Config{}
@@ -107,6 +112,26 @@ func Replay(r io.Reader) (*ReplayOutput, error) {
 		return nil, fmt.Errorf("%w %q (in replay log)", ErrUnknownPolicy, meta.Policy)
 	}
 
+	mp, _ := policy.(*tournament.Meta)
+	// A governed recording carries the resolved governor setup in its
+	// header; rebuild the identical governor over the Player, whose
+	// power-control calls replay (and verify) the recorded meter reads
+	// and actuations.
+	var gp *sched.Governed
+	if len(meta.Power) > 0 {
+		var setup power.Setup
+		if err := json.Unmarshal(meta.Power, &setup); err != nil {
+			return nil, fmt.Errorf("harness: log governor setup: %w", err)
+		}
+		gov, err := power.New(setup.Config)
+		if err != nil {
+			return nil, err
+		}
+		gov.Bind(p.Topology(), setup.Levels)
+		gp = sched.Govern(policy, gov, p, setup.Config.AdaptEvery)
+		policy = gp
+	}
+
 	quanta, err := replay.Run(p, policy)
 	if err != nil {
 		return nil, err
@@ -125,21 +150,29 @@ func Replay(r io.Reader) (*ReplayOutput, error) {
 		out.FailedSwaps = dk.FailedSwaps()
 		out.Sanitized = dk.SanitizedTotal()
 	}
-	if mp, ok := policy.(*tournament.Meta); ok {
+	if mp != nil {
 		out.MetaStats = mp.Stats()
+	}
+	if gp != nil {
+		out.Power = gp.Stats()
 	}
 	return out, nil
 }
 
-// RunDigest extends Digest with the meta policy's tournament stream:
-// for fixed-policy runs it is exactly Digest; for meta runs the epoch
-// records (times, scores, switches) join the content address, so two
-// meta runs are byte-identical only when every tournament decided
-// identically.
-func RunDigest(policy string, hist []core.QuantumRecord, ms *tournament.Stats) string {
+// RunDigest extends Digest with the meta policy's tournament stream
+// and the power governor's decision stream: for fixed ungoverned runs
+// it is exactly Digest; for meta runs the epoch records (times, scores,
+// switches) join the content address, and for governed runs every
+// governor invocation (watts seen, joules, DVFS actuations) does too —
+// so two runs are byte-identical only when every tournament and every
+// actuation decided identically.
+func RunDigest(policy string, hist []core.QuantumRecord, ms *tournament.Stats, ps *power.Stats) string {
 	d := Digest(policy, hist)
 	if ms != nil {
 		d += ms.Digest()
+	}
+	if ps != nil {
+		d += ps.Digest()
 	}
 	return d
 }

@@ -18,6 +18,7 @@ import (
 	"dike/internal/machine"
 	"dike/internal/metrics"
 	"dike/internal/platform"
+	"dike/internal/power"
 	"dike/internal/replay"
 	"dike/internal/sched"
 	"dike/internal/sim"
@@ -33,6 +34,11 @@ const (
 	PolicyDike   = "dike"
 	PolicyDikeAF = "dike-af"
 	PolicyDikeAP = "dike-ap"
+	// PolicyDikeEA is the energy-aware Dike variant: it adapts like
+	// dike-af while the schedule is unfair, but its adaptation guard
+	// scores fairness × measured watts, and on an already-fair schedule
+	// it lengthens the quantum to cut decision (and actuation) overhead.
+	PolicyDikeEA = "dike-ea"
 	PolicyNull   = "null"
 	// PolicyRotate and PolicyOracle are reference schedulers beyond the
 	// paper's comparison set: trivial round-robin rotation (perfectly
@@ -94,6 +100,12 @@ type RunSpec struct {
 	// this configuration. The injector is deterministic in its seed, so
 	// two runs with identical specs see the identical fault schedule.
 	Faults *fault.Config
+	// Power, if non-nil with a non-empty Governor, interposes a power
+	// governor between the policy and the platform: every AdaptEvery
+	// scheduling decisions the governor reads the energy meter and may
+	// throttle DVFS levels. Governor configuration is part of the run's
+	// content address (Digest), and every actuation rides the replay log.
+	Power *power.Config
 	// Record, if non-nil, receives a replay log of the run: every
 	// counter sample, quantum boundary and affinity action the policy
 	// exchanged with the platform. Feed it to Replay to re-run the
@@ -160,6 +172,11 @@ func (s RunSpec) Validate() error {
 			return err
 		}
 	}
+	if s.Power != nil {
+		if err := s.Power.Validate(); err != nil {
+			return err
+		}
+	}
 	if s.Traffic != nil {
 		return s.Traffic.Validate()
 	}
@@ -208,6 +225,17 @@ type RunOutput struct {
 	// MetaStats carries the meta policy's tournament record — epochs,
 	// scores, switches. Nil for fixed-policy runs.
 	MetaStats *tournament.Stats
+	// EnergyJ is the machine's total energy over the run in joules,
+	// integrated per tick from the power model; EDP is the
+	// energy-delay product EnergyJ × makespan-seconds (J·s), the
+	// energy experiment's headline metric. Both are zero on replay,
+	// where no machine model runs.
+	EnergyJ float64
+	EDP     float64
+	// Power carries the governor's invocation log — one entry per
+	// adaptation with the watts it saw and the DVFS levels it set. Nil
+	// for ungoverned runs.
+	Power *power.Stats
 	// WatchdogTrips / FailedSwaps / Sanitized report Dike's degradation
 	// bookkeeping: last-known-good reverts, swaps that silently failed
 	// and were rolled back, and counter readings dropped/rejected/clamped
@@ -265,6 +293,32 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 		return nil, err
 	}
 	mp, _ := policy.(*tournament.Meta)
+	// A configured governor interposes between the policy and the
+	// platform seam. It is wrapped before the recorder's policy wrapper,
+	// and its meter reads and actuations go through plat (the Recorder
+	// when recording) — so a governed log reads in causal order:
+	// quantum boundary, policy calls, then governor calls.
+	var gp *sched.Governed
+	if spec.Power != nil && spec.Power.Governor != "" {
+		pcfg := spec.Power.WithDefaults()
+		gov, err := power.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		levels := m.KindDVFSLevels()
+		gov.Bind(m.Topology(), levels)
+		pc, ok := plat.(platform.PowerControl)
+		if !ok {
+			return nil, fmt.Errorf("harness: platform has no power control for governor %q", pcfg.Governor)
+		}
+		gp = sched.Govern(policy, gov, pc, pcfg.AdaptEvery)
+		policy = gp
+		blob, err := json.Marshal(power.Setup{Config: pcfg, Levels: levels})
+		if err != nil {
+			return nil, err
+		}
+		meta.Power = blob
+	}
 	if rec != nil {
 		if err := rec.Start(meta); err != nil {
 			return nil, err
@@ -336,6 +390,11 @@ func Run(ctx context.Context, spec RunSpec) (*RunOutput, error) {
 	}
 	out := &RunOutput{Spec: spec, Result: result, CompletedAt: done, Trace: rt, Traffic: tres}
 	out.DecisionTime, out.Decisions = engine.DecisionCost()
+	out.EnergyJ = m.EnergyJoules()
+	out.EDP = out.EnergyJ * float64(done) / 1000
+	if gp != nil {
+		out.Power = gp.Stats()
+	}
 	if inj != nil {
 		st := inj.Stats()
 		out.FaultStats = &st
@@ -387,7 +446,7 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance, 
 		}
 		meta.Static = st.Assignment()
 		return st, nil, meta, nil
-	case PolicyDike, PolicyDikeAF, PolicyDikeAP:
+	case PolicyDike, PolicyDikeAF, PolicyDikeAP, PolicyDikeEA:
 		cfg := core.DefaultConfig()
 		if spec.DikeConfig != nil {
 			cfg = *spec.DikeConfig
@@ -399,6 +458,8 @@ func buildPolicy(spec RunSpec, plat platform.Platform, inst *workload.Instance, 
 			cfg.Goal = core.AdaptFairness
 		case PolicyDikeAP:
 			cfg.Goal = core.AdaptPerformance
+		case PolicyDikeEA:
+			cfg.Goal = core.AdaptEnergy
 		}
 		cfg.PlacementSeed = spec.Seed
 		dk, err := core.New(plat, cfg)

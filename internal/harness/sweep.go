@@ -17,6 +17,12 @@ type ConfigResult struct {
 	Fairness float64
 	Perf     float64
 	Swaps    int
+	// EnergyJ and EDP carry the run's power-model outcome: total joules
+	// and the energy-delay product (J·s). Sweeps predate the power
+	// model, so both are informational there; the energy experiment is
+	// their primary consumer.
+	EnergyJ float64
+	EDP     float64
 }
 
 // Fill copies a finished run's sweep-relevant outcome into the grid
@@ -29,6 +35,8 @@ func (c *ConfigResult) Fill(out *RunOutput) {
 	c.Fairness = out.Result.Fairness
 	c.Perf = 1 / out.Result.Makespan
 	c.Swaps = out.Result.Swaps
+	c.EnergyJ = out.EnergyJ
+	c.EDP = out.EDP
 }
 
 // Sweep runs the 32-configuration sweep on w with defaulted options; it

@@ -44,6 +44,13 @@ type TournamentMeasure struct {
 	FairnessJain    float64 `json:"fairness_jain"`
 	MetaSwitches    int     `json:"meta_switches,omitempty"`
 	MetaFinalPolicy string  `json:"meta_final_policy,omitempty"`
+	// AllocsPerQuantum and RunsPerSec are wall-clock/heap measurements
+	// (measuredRun), populated only in plain local mode: a store-cached
+	// or served cell must stay a pure function of the spec digest, so
+	// those modes leave both fields zero and omitted — cached and served
+	// documents keep their historical bytes.
+	AllocsPerQuantum float64 `json:"allocs_per_quantum,omitempty"`
+	RunsPerSec       float64 `json:"runs_per_sec,omitempty"`
 }
 
 // BenchTournamentCell is a measured cell with its leaderboard
@@ -59,10 +66,12 @@ type BenchTournamentCell struct {
 	Winner bool    `json:"winner,omitempty"`
 }
 
-// BenchTournament is the BENCH_tournament.json document. Every field is
-// derived from simulated time and the grid definition — no wall-clock,
-// heap or cache-status measurements — so two runs of the same grid
-// (local, store-cached or served) write byte-identical documents.
+// BenchTournament is the BENCH_tournament.json document. Every field
+// except the plain-local throughput columns (allocs_per_quantum,
+// runs_per_sec) is derived from simulated time and the grid definition,
+// so two store-cached or served runs of the same grid write
+// byte-identical documents; plain local runs add the wall-clock/heap
+// columns on top of the identical deterministic core.
 type BenchTournament struct {
 	Schema    string                `json:"schema"`
 	Seed      uint64                `json:"seed"`
@@ -254,11 +263,25 @@ func (r *tournamentCellRunner) run(ctx context.Context, spec RunSpec, load float
 		}
 		r.misses++
 	}
+	// Plain local mode (no store, no server) measures throughput around
+	// the run; the store path must keep the cached blob a pure function
+	// of the digest, so it runs unmeasured.
+	var m TournamentMeasure
+	if r.store == nil {
+		out, apq, rps, err := measuredRun(ctx, spec)
+		if err != nil {
+			return TournamentMeasure{}, "", err
+		}
+		m = tournamentMeasure(load, spec.Policy, out)
+		m.AllocsPerQuantum = apq
+		m.RunsPerSec = rps
+		return m, digest, nil
+	}
 	out, err := Run(ctx, spec)
 	if err != nil {
 		return TournamentMeasure{}, "", err
 	}
-	m := tournamentMeasure(load, spec.Policy, out)
+	m = tournamentMeasure(load, spec.Policy, out)
 	if r.store != nil {
 		meta, _ := json.Marshal(map[string]any{"load": load, "policy": spec.Policy, "seed": spec.Seed})
 		blob, err := json.Marshal(m)

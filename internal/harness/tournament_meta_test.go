@@ -99,8 +99,8 @@ func TestMetaDeterministicDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	da := RunDigest(PolicyMeta, a.History, a.MetaStats)
-	db := RunDigest(PolicyMeta, b.History, b.MetaStats)
+	da := RunDigest(PolicyMeta, a.History, a.MetaStats, nil)
+	db := RunDigest(PolicyMeta, b.History, b.MetaStats, nil)
 	if da != db {
 		t.Error("meta run digests differ across identical runs")
 	}
@@ -130,8 +130,8 @@ func TestMetaRecordReplayParity(t *testing.T) {
 	if rep.MetaStats == nil {
 		t.Fatal("replay produced no meta stats")
 	}
-	ld := RunDigest(PolicyMeta, live.History, live.MetaStats)
-	rd := RunDigest(PolicyMeta, rep.History, rep.MetaStats)
+	ld := RunDigest(PolicyMeta, live.History, live.MetaStats, nil)
+	rd := RunDigest(PolicyMeta, rep.History, rep.MetaStats, nil)
 	if ld != rd {
 		t.Error("live and replayed meta digests differ")
 	}

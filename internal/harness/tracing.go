@@ -28,6 +28,10 @@ type RunTrace struct {
 	// Faults is the cumulative count of injected faults; nil when the run
 	// has no fault injector attached.
 	Faults *trace.Series
+	// Watts is the machine's total power draw over the last tick and
+	// EnergyJ the cumulative joules, both from the power model.
+	Watts   *trace.Series
+	EnergyJ *trace.Series
 
 	inj *fault.Injector
 }
@@ -40,6 +44,8 @@ func newRunTrace(inj *fault.Injector, withDispersion bool) *RunTrace {
 		Utilization: trace.NewSeries("mem_util"),
 		Alive:       trace.NewSeries("alive_threads"),
 		Swaps:       trace.NewSeries("cumulative_swaps"),
+		Watts:       trace.NewSeries("power_watts"),
+		EnergyJ:     trace.NewSeries("energy_joules"),
 		inj:         inj,
 	}
 	if withDispersion {
@@ -57,6 +63,8 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 	rt.Utilization.Add(t, m.Utilization())
 	rt.Alive.Add(t, float64(len(m.Alive())))
 	rt.Swaps.Add(t, float64(m.SwapCount()))
+	rt.Watts.Add(t, m.PowerWatts())
+	rt.EnergyJ.Add(t, m.EnergyJoules())
 	if rt.Faults != nil {
 		rt.Faults.Add(t, float64(rt.inj.Stats().Total()))
 	}
@@ -83,7 +91,7 @@ func (rt *RunTrace) sample(now sim.Time, m *machine.Machine, inst *workload.Inst
 
 // WriteCSV exports all trace series in wide form.
 func (rt *RunTrace) WriteCSV(w io.Writer) error {
-	series := []*trace.Series{rt.Utilization, rt.Alive, rt.Swaps}
+	series := []*trace.Series{rt.Utilization, rt.Alive, rt.Swaps, rt.Watts, rt.EnergyJ}
 	if rt.Dispersion != nil {
 		series = append(series, rt.Dispersion)
 	}

@@ -56,7 +56,7 @@ func TestRunTraceCapture(t *testing.T) {
 	if err := rt.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(sb.String(), "time_ms,mem_util,alive_threads,cumulative_swaps,progress_dispersion") {
+	if !strings.HasPrefix(sb.String(), "time_ms,mem_util,alive_threads,cumulative_swaps,power_watts,energy_joules,progress_dispersion") {
 		t.Errorf("csv header: %q", strings.SplitN(sb.String(), "\n", 2)[0])
 	}
 }

@@ -225,7 +225,7 @@ type Machine struct {
 
 	// Resolved machine model (built once in New from either the legacy
 	// fields or cfg.Spec):
-	ctrls      []MemController   // one per controller domain
+	ctrls      []MemController    // one per controller domain
 	solvers    []contentionSolver // parallel to ctrls
 	coreDomain []int              // logical core -> controller domain
 	dist       [][]float64        // socket x socket distance matrix
@@ -233,6 +233,8 @@ type Machine struct {
 	dvfsTab    [][]float64        // per-kind DVFS multiplier tables (nil = nominal only)
 	dvfsLevel  []int              // per-core current DVFS level
 	coreMult   []float64          // per-core current speed multiplier
+	dynPeak    []float64          // per-kind dynamic watts at multiplier 1, one busy lane
+	sockStatic []float64          // per-socket leakage watts (always burned)
 
 	threads map[ThreadID]*thread
 	order   []ThreadID // deterministic iteration order
@@ -247,6 +249,12 @@ type Machine struct {
 	crashes     int      // threads terminated by injected crashes
 	lastUtil    float64  // controller utilisation at the end of the last step
 	lastNow     sim.Time // time at the end of the last Step (for arrival checks)
+
+	// Energy accounting, integrated every Step from the lowered power
+	// model: cumulative joules and the per-socket watts of the last step.
+	energyJ   float64
+	sockWatts []float64
+	sockDyn   []float64 // scratch: per-socket dynamic watts this step
 
 	// scratch buffers reused across Step calls to avoid per-tick allocs.
 	scratchT     []*thread
@@ -350,6 +358,40 @@ func (m *Machine) resolve() {
 		m.coreDomain[c.ID] = sockDomain[c.Socket]
 		m.coreMult[c.ID] = m.nominalMult(c.Kind)
 	}
+
+	// Power model: per-kind dynamic peak watts, and per-socket leakage
+	// totals (one static contribution per physical core, counted once
+	// across its SMT lanes). Spec machines may override the coefficients
+	// per type; legacy machines derive them from the kind speeds, so every
+	// machine has an energy meter.
+	static := make([]float64, nk)
+	m.dynPeak = make([]float64, nk)
+	if spec := m.cfg.Spec; spec != nil {
+		for k := range spec.CoreTypes {
+			ct := &spec.CoreTypes[k]
+			static[k] = ct.StaticPower()
+			m.dynPeak[k] = ct.PeakPower()
+		}
+	} else {
+		for _, c := range m.topo.Cores() {
+			if static[c.Kind] == 0 {
+				ct := platform.CoreTypeSpec{Speed: c.Speed}
+				static[c.Kind] = ct.StaticPower()
+				m.dynPeak[c.Kind] = ct.PeakPower()
+			}
+		}
+	}
+	m.sockStatic = make([]float64, ns)
+	m.sockWatts = make([]float64, ns)
+	m.sockDyn = make([]float64, ns)
+	physSeen := make(map[int]bool)
+	for _, c := range m.topo.Cores() {
+		if !physSeen[c.Physical] {
+			physSeen[c.Physical] = true
+			m.sockStatic[c.Socket] += static[c.Kind]
+		}
+	}
+	copy(m.sockWatts, m.sockStatic)
 }
 
 // nominalMult returns kind k's level-0 speed multiplier (1 when the
@@ -731,6 +773,9 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 	m.lastNow = now + dt
 	laneCount := make(map[CoreID]int, len(m.order))
 	physBusy := make(map[int]int)
+	for i := range m.sockDyn {
+		m.sockDyn[i] = 0
+	}
 	for _, id := range m.order {
 		t := m.threads[id]
 		if t.finished || t.startAt > now {
@@ -740,9 +785,30 @@ func (m *Machine) Step(now sim.Time, dt sim.Time) {
 			panic(fmt.Sprintf("machine: thread %d stepped before placement", id))
 		}
 		if laneCount[t.core] == 0 {
-			physBusy[m.topo.Core(t.core).Physical]++
+			c := m.topo.Core(t.core)
+			// Dynamic power: the first busy lane of a physical core clocks
+			// the full pipeline; further SMT lanes add only the duplicated
+			// front-end share. Scales with the cube of the DVFS multiplier
+			// (V ∝ f). Threads time-sharing one lane add nothing — a lane
+			// is either clocked or not.
+			share := smtDynShare
+			if physBusy[c.Physical] == 0 {
+				share = 1
+			}
+			mult := m.coreMult[t.core]
+			m.sockDyn[c.Socket] += m.dynPeak[c.Kind] * mult * mult * mult * share
+			physBusy[c.Physical]++
 		}
 		laneCount[t.core]++
+	}
+	// Integrate energy over the step: leakage always burns; dynamic power
+	// follows lane occupancy. Folding per-socket in index order keeps the
+	// float stream deterministic.
+	fdtSec := float64(dt) / 1000
+	for s := range m.sockWatts {
+		w := m.sockStatic[s] + m.sockDyn[s]
+		m.sockWatts[s] = w
+		m.energyJ += w * fdtSec
 	}
 
 	// Gather runnable threads and their attainable rates and demands.
@@ -940,6 +1006,32 @@ func (m *Machine) SetDVFS(core CoreID, level int) error {
 	return nil
 }
 
+// smtDynShare is the fraction of a physical core's dynamic power each
+// busy SMT lane beyond the first adds: siblings share the execution
+// back-end, so a second lane duplicates only front-end switching.
+const smtDynShare = 0.35
+
+// PowerSample implements platform.PowerControl: a RAPL-style reading of
+// cumulative energy plus the per-socket watts of the last step.
+func (m *Machine) PowerSample() platform.PowerSample {
+	w := make([]float64, len(m.sockWatts))
+	copy(w, m.sockWatts)
+	return platform.PowerSample{Energy: m.energyJ, Watts: w}
+}
+
+// EnergyJoules returns the cumulative energy consumed since the start of
+// the run, in joules.
+func (m *Machine) EnergyJoules() float64 { return m.energyJ }
+
+// PowerWatts returns the machine-wide power draw of the last step.
+func (m *Machine) PowerWatts() float64 {
+	t := 0.0
+	for _, w := range m.sockWatts {
+		t += w
+	}
+	return t
+}
+
 // DVFSOf returns a core's current DVFS level (0 = nominal).
 func (m *Machine) DVFSOf(core CoreID) int {
 	if int(core) < 0 || int(core) >= m.topo.NumCores() {
@@ -958,6 +1050,20 @@ func (m *Machine) DVFSLevels(core CoreID) int {
 		return len(tab)
 	}
 	return 1
+}
+
+// KindDVFSLevels returns the per-kind DVFS level counts (index =
+// CoreKind, at least 1 each). Governors bind to this table so their
+// throttle grids match the machine's actual frequency ladders.
+func (m *Machine) KindDVFSLevels() []int {
+	out := make([]int, len(m.dvfsTab))
+	for k, tab := range m.dvfsTab {
+		out[k] = 1
+		if len(tab) > 0 {
+			out[k] = len(tab)
+		}
+	}
+	return out
 }
 
 // NumMemDomains returns the number of independent memory controller

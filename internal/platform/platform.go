@@ -45,6 +45,43 @@ func (s *Sample) AccessRate(tid ThreadID) float64 {
 	return s.Threads[tid].AccessRate()
 }
 
+// PowerSample is one reading of the platform's energy meter: what a
+// userspace governor learns from RAPL-style counters. Cumulative energy
+// plus an instantaneous per-socket power snapshot.
+type PowerSample struct {
+	// Energy is the cumulative energy consumed by the whole machine since
+	// the start of the run, in joules (model units).
+	Energy float64
+	// Watts is the per-socket power draw over the most recent step,
+	// indexed by socket id. Empty when the platform has no power meter.
+	Watts []float64
+}
+
+// Total returns the machine-wide power draw of the sample, in watts.
+func (s PowerSample) Total() float64 {
+	t := 0.0
+	for _, w := range s.Watts {
+		t += w
+	}
+	return t
+}
+
+// PowerControl is optionally implemented by platforms that expose an
+// energy meter and frequency actuation — the RAPL + cpufreq analogue of
+// the counter-sampling seam. The simulated machine implements it from
+// its lowered power model; the replay backend re-serves recorded
+// readings and verifies recorded actuations. Both calls cross the seam
+// like Sample and Migrate do: they are recorded, so governed runs replay
+// byte-exactly.
+type PowerControl interface {
+	// PowerSample reads the energy meter. Unlike Sample it is a snapshot,
+	// not a delta stream, so callers may read it at any cadence.
+	PowerSample() PowerSample
+	// SetDVFS sets a core's frequency level: an index into its type's
+	// DVFS table, level 0 nominal. Types without a table accept only 0.
+	SetDVFS(core CoreID, level int) error
+}
+
 // Platform is everything a scheduling policy may see and do. The
 // simulated machine implements it directly; the replay backend
 // implements it from a recorded log. Implementations are not required

@@ -38,6 +38,42 @@ type CoreTypeSpec struct {
 	// level 0 first. Values are in (0, 1] and non-increasing; an empty
 	// list means the type runs at nominal speed only.
 	DVFS []float64 `json:"dvfs,omitempty"`
+	// PowerStatic is the leakage power of one physical core of this type
+	// in watts, burned whenever the machine is on regardless of load.
+	// Zero means "derive from Speed" (DefaultPowerStatic · Speed).
+	PowerStatic float64 `json:"power_static,omitempty"`
+	// PowerPeak is the dynamic power of one physical core of this type in
+	// watts at nominal frequency with one busy lane. It scales with the
+	// cube of the DVFS multiplier (V ∝ f ⇒ C·V²·f ∝ f³) and with SMT
+	// occupancy. Zero means "derive from Speed" (DefaultPowerPeak·Speed²).
+	PowerPeak float64 `json:"power_peak,omitempty"`
+}
+
+// Default power-model coefficients used when a core type declares no
+// explicit PowerStatic / PowerPeak: leakage grows linearly with design
+// speed, dynamic power quadratically (wider cores burn disproportionate
+// switching power even before the cubic DVFS term).
+const (
+	DefaultPowerStatic = 0.5 // watts per unit Speed
+	DefaultPowerPeak   = 2.0 // watts per unit Speed²
+)
+
+// StaticPower returns the type's per-physical-core leakage watts,
+// applying the Speed-derived default.
+func (ct *CoreTypeSpec) StaticPower() float64 {
+	if ct.PowerStatic > 0 {
+		return ct.PowerStatic
+	}
+	return DefaultPowerStatic * ct.Speed
+}
+
+// PeakPower returns the type's per-physical-core dynamic watts at
+// nominal frequency, applying the Speed-derived default.
+func (ct *CoreTypeSpec) PeakPower() float64 {
+	if ct.PowerPeak > 0 {
+		return ct.PowerPeak
+	}
+	return DefaultPowerPeak * ct.Speed * ct.Speed
 }
 
 // CoreGroup places a run of physical cores of one type on a socket.
@@ -114,6 +150,10 @@ func (s *MachineSpec) Validate() error {
 			return specErrf(field+".smt_ways", "must be >= 1, got %d", ct.SMTWays)
 		case ct.SMTPenalty < 0 || ct.SMTPenalty > 1:
 			return specErrf(field+".smt_penalty", "must be in (0,1] or 0 for default, got %g", ct.SMTPenalty)
+		case ct.PowerStatic < 0:
+			return specErrf(field+".power_static", "must be >= 0, got %g", ct.PowerStatic)
+		case ct.PowerPeak < 0:
+			return specErrf(field+".power_peak", "must be >= 0, got %g", ct.PowerPeak)
 		}
 		names[ct.Name] = true
 		for l, v := range ct.DVFS {

@@ -106,21 +106,28 @@ type Meta struct {
 	// which is derived from knowledge (workload ground truth) that does
 	// not exist at replay time and so must be persisted.
 	Static map[platform.ThreadID]platform.CoreID
+	// Power is the governed run's opaque governor setup blob (nil for
+	// ungoverned runs). The harness uses it to rebuild the identical
+	// governor at replay time; the backend does not interpret it.
+	Power json.RawMessage
 }
 
 // header is the first line of every log.
 type header struct {
-	Version      int                                   `json:"version"`
-	Policy       string                                `json:"policy"`
-	Seed         uint64                                `json:"seed"`
-	MemCapacity  jfloat                                `json:"memcap"`
-	Cores        []wireCore                            `json:"cores"`
-	Threads      []wireThread                          `json:"threads"`
+	Version     int          `json:"version"`
+	Policy      string       `json:"policy"`
+	Seed        uint64       `json:"seed"`
+	MemCapacity jfloat       `json:"memcap"`
+	Cores       []wireCore   `json:"cores"`
+	Threads     []wireThread `json:"threads"`
 	// KindNames is the topology's core-type name table (index = CoreKind).
 	// Omitted for legacy logs, whose kinds carry the default fast/slow names.
 	KindNames    []string                              `json:"kinds,omitempty"`
 	PolicyConfig json.RawMessage                       `json:"policyConfig,omitempty"`
 	Static       map[platform.ThreadID]platform.CoreID `json:"static,omitempty"`
+	// Power is the governor setup of a governed run. Trailing and
+	// omitted when absent, so ungoverned logs stay byte-compatible.
+	Power json.RawMessage `json:"power,omitempty"`
 }
 
 // Event kinds. One JSON object per line, discriminated by "k".
@@ -130,11 +137,15 @@ const (
 	evPlace   = "p" // initial placement: A, Core, Err
 	evMigrate = "m" // migration: A, Core, Now, PostA, Err
 	evSwap    = "w" // swap: A, B, Now, PostA, PostB, Err
+	evPower   = "e" // energy-meter reading: W, E (Now is the last boundary)
+	evDVFS    = "d" // DVFS actuation: Core, L, Err
 )
 
 // event is one recorded platform interaction. Field use depends on the
 // kind; unused fields stay at their zero values. Scalar fields carry no
-// omitempty — thread 0 and core 0 are legitimate values.
+// omitempty — thread 0 and core 0 are legitimate values. (The power
+// fields are the exception: they are omitted when empty so the five
+// original event kinds keep their exact historical encoding.)
 type event struct {
 	K     string              `json:"k"`
 	Now   sim.Time            `json:"t"`
@@ -146,6 +157,11 @@ type event struct {
 	PostA platform.CoreID     `json:"pa"`
 	PostB platform.CoreID     `json:"pb"`
 	Err   string              `json:"err,omitempty"`
+	// Power events: per-socket watts and cumulative joules of an
+	// energy-meter reading, and the level of a DVFS actuation.
+	W []jfloat `json:"pw,omitempty"`
+	E jfloat   `json:"pe,omitempty"`
+	L int      `json:"l,omitempty"`
 }
 
 // wireSample serialises a platform.Sample. Map keys are integers, which

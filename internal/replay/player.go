@@ -50,6 +50,10 @@ func describe(ev *event) string {
 		return fmt.Sprintf("migrate(thread=%d, core=%d, t=%v)", ev.A, ev.Core, ev.Now)
 	case evSwap:
 		return fmt.Sprintf("swap(%d, %d, t=%v)", ev.A, ev.B, ev.Now)
+	case evPower:
+		return fmt.Sprintf("powersample(t=%v)", ev.Now)
+	case evDVFS:
+		return fmt.Sprintf("setdvfs(core=%d, level=%d, t=%v)", ev.Core, ev.L, ev.Now)
 	}
 	return fmt.Sprintf("unknown event %q", ev.K)
 }
@@ -114,7 +118,7 @@ func NewPlayer(r io.Reader) (*Player, error) {
 
 // Meta returns the policy metadata the log was recorded under.
 func (p *Player) Meta() Meta {
-	return Meta{Policy: p.hdr.Policy, Seed: p.hdr.Seed, PolicyConfig: p.hdr.PolicyConfig, Static: p.hdr.Static}
+	return Meta{Policy: p.hdr.Policy, Seed: p.hdr.Seed, PolicyConfig: p.hdr.PolicyConfig, Static: p.hdr.Static, Power: p.hdr.Power}
 }
 
 // Quanta returns how many quantum boundaries have been replayed.
@@ -280,6 +284,40 @@ func (p *Player) Swap(a, b platform.ThreadID, now sim.Time) error {
 	return recordedErr(ev)
 }
 
+// PowerSample implements platform.PowerControl: it verifies the call
+// against the stream and returns the recorded reading. Like Sample it
+// cannot error, so on divergence it returns the zero sample and latches
+// the divergence for Run to surface.
+func (p *Player) PowerSample() platform.PowerSample {
+	ev, err := p.expect("powersample()", func(ev *event) bool {
+		return ev.K == evPower
+	})
+	if err != nil {
+		return platform.PowerSample{}
+	}
+	s := platform.PowerSample{Energy: float64(ev.E)}
+	if len(ev.W) > 0 {
+		s.Watts = make([]float64, len(ev.W))
+		for i, w := range ev.W {
+			s.Watts[i] = float64(w)
+		}
+	}
+	return s
+}
+
+// SetDVFS implements platform.PowerControl, verifying the actuation —
+// core and level — against the recorded stream and reproducing the
+// recorded outcome.
+func (p *Player) SetDVFS(core platform.CoreID, level int) error {
+	ev, err := p.expect(fmt.Sprintf("setdvfs(core=%d, level=%d)", core, level), func(ev *event) bool {
+		return ev.K == evDVFS && ev.Core == core && ev.L == level
+	})
+	if err != nil {
+		return err
+	}
+	return recordedErr(ev)
+}
+
 // NextQuantum advances to the next recorded quantum boundary, loading
 // its alive set. It returns ok=false at a clean end of log. A
 // non-quantum event in next position means the policy consumed fewer
@@ -331,4 +369,7 @@ func Run(p *Player, pol sim.Policy) (int, error) {
 	}
 }
 
-var _ platform.Platform = (*Player)(nil)
+var (
+	_ platform.Platform     = (*Player)(nil)
+	_ platform.PowerControl = (*Player)(nil)
+)

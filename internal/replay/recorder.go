@@ -24,7 +24,8 @@ type Recorder struct {
 	w       *bufio.Writer
 	enc     *json.Encoder
 	started bool
-	err     error // first write error; recording stops reporting after it
+	err     error    // first write error; recording stops reporting after it
+	lastNow sim.Time // most recent quantum boundary, stamped on power events
 }
 
 // NewRecorder returns a recorder around inner writing to w. The caller
@@ -51,6 +52,7 @@ func (r *Recorder) Start(meta Meta) error {
 		KindNames:    topo.KindNames(),
 		PolicyConfig: meta.PolicyConfig,
 		Static:       meta.Static,
+		Power:        meta.Power,
 	}
 	for _, c := range topo.Cores() {
 		h.Cores = append(h.Cores, wireCore{ID: c.ID, Kind: c.Kind, Speed: jfloat(c.Speed), Physical: c.Physical, Socket: c.Socket})
@@ -168,7 +170,41 @@ func (r *Recorder) Swap(a, b platform.ThreadID, now sim.Time) error {
 // which is what lets policies that never sample counters (rotation,
 // static placement) replay correctly.
 func (r *Recorder) Quantum(now sim.Time) error {
+	r.lastNow = now
 	return r.emit(event{K: evQuantum, Now: now, Alive: r.inner.Alive()})
+}
+
+// PowerSample implements platform.PowerControl, logging the reading it
+// returns. A wrapped platform without an energy meter yields (and
+// records) the zero sample, so recording and replay stay consistent
+// either way.
+func (r *Recorder) PowerSample() platform.PowerSample {
+	var s platform.PowerSample
+	if pc, ok := r.inner.(platform.PowerControl); ok {
+		s = pc.PowerSample()
+	}
+	ev := event{K: evPower, Now: r.lastNow, E: jfloat(s.Energy)}
+	if len(s.Watts) > 0 {
+		ev.W = make([]jfloat, len(s.Watts))
+		for i, w := range s.Watts {
+			ev.W[i] = jfloat(w)
+		}
+	}
+	r.emit(ev)
+	return s
+}
+
+// SetDVFS implements platform.PowerControl, logging the actuation and
+// its outcome.
+func (r *Recorder) SetDVFS(core platform.CoreID, level int) error {
+	var err error
+	if pc, ok := r.inner.(platform.PowerControl); ok {
+		err = pc.SetDVFS(core, level)
+	} else {
+		err = fmt.Errorf("replay: wrapped platform has no DVFS control")
+	}
+	r.emit(event{K: evDVFS, Now: r.lastNow, Core: core, L: level, Err: errString(err)})
+	return err
 }
 
 // recordedPolicy interposes on a policy to log quantum boundaries.
@@ -192,4 +228,7 @@ func (rp *recordedPolicy) Quantum(now sim.Time) error {
 	return rp.Policy.Quantum(now)
 }
 
-var _ platform.Platform = (*Recorder)(nil)
+var (
+	_ platform.Platform     = (*Recorder)(nil)
+	_ platform.PowerControl = (*Recorder)(nil)
+)

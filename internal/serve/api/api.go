@@ -48,6 +48,12 @@ type RunRequest struct {
 	Meta json.RawMessage `json:"meta,omitempty"`
 	// Faults attaches the deterministic fault injector.
 	Faults *FaultRequest `json:"faults,omitempty"`
+	// Power, when set, is a power.Config JSON document: the DVFS
+	// governor to run on top of the policy (governor name, per-socket
+	// watt cap, adaptation cadence). Raw JSON for the same reason as
+	// Machine; workers validate it on decode. The governor's decision
+	// stream joins the run digest, so routing by digest stays exact.
+	Power json.RawMessage `json:"power,omitempty"`
 	// DeadlineMs bounds the job's wall-clock execution; 0 uses the
 	// server default. A job past its deadline is failed, not retried.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`

@@ -15,6 +15,7 @@ import (
 	"dike/internal/harness"
 	"dike/internal/machine"
 	"dike/internal/platform"
+	"dike/internal/power"
 	"dike/internal/serve/api"
 	"dike/internal/sim"
 	"dike/internal/tournament"
@@ -125,6 +126,10 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	if merr != nil {
 		return harness.RunSpec{}, "", merr
 	}
+	pc, perr := parsePowerConfig(req)
+	if perr != nil {
+		return harness.RunSpec{}, "", perr
+	}
 	var w *workload.Workload
 	var err error
 	switch {
@@ -185,6 +190,7 @@ func BuildRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		Scale:    scale,
 		MaxTime:  sim.Time(req.MaxTimeMs),
 		Meta:     mc,
+		Power:    pc,
 	}
 	if len(req.Machine) > 0 {
 		ms, err := platform.ParseMachineSpec(req.Machine)
@@ -234,6 +240,10 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 	if err != nil {
 		return harness.RunSpec{}, "", err
 	}
+	pc, err := parsePowerConfig(req)
+	if err != nil {
+		return harness.RunSpec{}, "", err
+	}
 	seed := uint64(42)
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -244,6 +254,7 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		Seed:    seed,
 		MaxTime: sim.Time(req.MaxTimeMs),
 		Meta:    mc,
+		Power:   pc,
 	}
 	if len(req.Machine) > 0 {
 		ms, err := platform.ParseMachineSpec(req.Machine)
@@ -276,6 +287,25 @@ func buildTrafficRunSpec(req RunRequest) (harness.RunSpec, string, error) {
 		return harness.RunSpec{}, "", err
 	}
 	return spec, digest, nil
+}
+
+// parsePowerConfig decodes a request's governor configuration. Unknown
+// fields are rejected — a typoed cap would otherwise run ungoverned at
+// a different digest than the caller expects.
+func parsePowerConfig(req RunRequest) (*power.Config, error) {
+	if len(req.Power) == 0 {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(req.Power))
+	dec.DisallowUnknownFields()
+	var cfg power.Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("serve: power config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &cfg, nil
 }
 
 // parseMetaConfig decodes a request's tournament configuration. Only
